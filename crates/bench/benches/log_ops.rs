@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of the replicated-log codec.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use replication::{LogReader, LogWriter};
+
+fn bench_log(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_ops");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for size in [64usize, 1024, 8192] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("append", size), &size, |b, &size| {
+            let payload = Bytes::from(vec![0xCD; size]);
+            let mut w = LogWriter::new(64 << 20);
+            b.iter(|| w.append(payload.clone()).expect("ring"));
+        });
+    }
+    group.bench_function("drain_1000_entries", |b| {
+        let mut w = LogWriter::new(1 << 20);
+        let mut log = vec![0u8; 1 << 20];
+        for _ in 0..1000 {
+            let (_e, bytes, at) = w.append(Bytes::from(vec![7u8; 64])).expect("space");
+            log[at..at + bytes.len()].copy_from_slice(&bytes);
+        }
+        b.iter_batched(
+            LogReader::new,
+            |mut r| {
+                let entries = r.drain(&log).expect("clean");
+                assert_eq!(entries.len(), 1000);
+                entries
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_log);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the queue-pair send path: post,
+//! segment, acknowledge.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::SimTime;
+use rdma::qp::PeerInfo;
+use rdma::{Psn, Qpn, QueuePair, RKey, WorkRequest, WrId};
+use std::net::Ipv4Addr;
+
+fn rts_qp() -> QueuePair {
+    let mut qp = QueuePair::new(Qpn(5), Psn::new(100), 1024, 16);
+    qp.begin_connect();
+    qp.establish_requester(PeerInfo {
+        ip: Ipv4Addr::new(10, 0, 0, 2),
+        qpn: Qpn(9),
+        start_psn: Psn::new(0),
+    });
+    qp
+}
+
+fn bench_sendpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qp_sendpath");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for size in [64usize, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("post_segment_ack", size),
+            &size,
+            |b, &size| {
+                let payload = Bytes::from(vec![0u8; size]);
+                b.iter_batched(
+                    rts_qp,
+                    |mut qp| {
+                        qp.post(WorkRequest::Write {
+                            wr_id: WrId(1),
+                            remote_va: 0x1000,
+                            rkey: RKey(42),
+                            data: payload.clone(),
+                        })
+                        .expect("rts");
+                        let pkts = qp.next_message(SimTime::ZERO).expect("ready");
+                        let last = pkts.last().expect("packets").psn;
+                        qp.handle_ack(last, 16)
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.bench_function("receive_sequence_window", |b| {
+        b.iter_batched(
+            || {
+                let mut qp = QueuePair::new(Qpn(7), Psn::new(0), 1024, 16);
+                qp.establish_responder(PeerInfo {
+                    ip: Ipv4Addr::new(10, 0, 0, 1),
+                    qpn: Qpn(3),
+                    start_psn: Psn::new(0),
+                });
+                qp
+            },
+            |mut qp| {
+                for i in 0..64u32 {
+                    let _ = qp.receive_sequence(Psn::new(i), rdma::Opcode::WriteOnly, true);
+                }
+                qp
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sendpath);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the switch's stateful primitives: the
+//! NumRecv / MinCredit register operations on the gather path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tofino::RegisterArray;
+
+fn bench_registers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch_registers");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("numrecv_reset_count_cycle", |b| {
+        let mut reg = RegisterArray::new("numrecv", 256);
+        let mut psn = 0usize;
+        b.iter(|| {
+            // One consensus: scatter resets, f=2 ACKs count up.
+            reg.write(psn, 0);
+            reg.increment(psn);
+            let fired = reg.increment(psn) == 2;
+            psn = psn.wrapping_add(1);
+            fired
+        });
+    });
+    group.bench_function("min_credit_fold_6_replicas", |b| {
+        let mut credits = RegisterArray::new("credits", 6);
+        for i in 0..6 {
+            credits.write(i, 10 + i as u32);
+        }
+        b.iter(|| {
+            let mut min = 31u32;
+            for i in 0..6 {
+                min = min.min(credits.read(i));
+            }
+            min
+        });
+    });
+    group.bench_function("min_update_hardware_idiom", |b| {
+        let mut reg = RegisterArray::new("m", 1);
+        reg.write(0, u32::MAX);
+        let mut v = 0u32;
+        b.iter(|| {
+            v = v.wrapping_add(2654435761);
+            reg.min_update(0, v)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_registers);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates the §IV-D ablation: ACK aggregation capacity with the
+//! drop placed in the replica ingress vs. the leader egress. Parser
+//! budgets are scaled down (2 µs/packet ≈ 0.5 Mpps) so saturation is
+//! reachable in simulation; the paper's shape — egress-drop capacity is
+//! flat while ingress-drop scales with replicas — is preserved. See
+//! EXPERIMENTS.md §E6.
+
+use netsim::SimDuration;
+use p4ce_harness::experiments::ablation_ackdrop;
+use p4ce_harness::print_markdown;
+
+fn main() {
+    let rows = ablation_ackdrop::run(
+        &[2, 3, 4, 6],
+        SimDuration::from_micros(2),
+        SimDuration::from_millis(20),
+    );
+    print_markdown(
+        "§IV-D ablation — ACK-drop placement (scaled parser: 0.5 Mpps)",
+        &rows,
+    );
+}

@@ -1,0 +1,82 @@
+//! Supplementary experiment: where does Figure 5's saturation knee come
+//! from?
+//!
+//! The paper reports (a) a CPU-bound maximum of 2.3 M consensus/s (§V-C)
+//! and (b) line-rate goodput from ≈500 B values (Fig. 5). Taken together
+//! these imply very different per-operation CPU costs (210 ns vs ≈45 ns),
+//! an inconsistency the paper does not discuss. This sweep varies the
+//! per-verb CPU cost and shows how the 512 B-value goodput — and the knee
+//! of the goodput curve — moves with it: at ≈210 ns (the §V-C
+//! calibration) the knee sits at multi-KiB values; only at tens of
+//! nanoseconds per verb (deep doorbell batching) does 512 B saturate the
+//! link as Fig. 5 shows.
+
+use netsim::{SimDuration, SimTime};
+use p4ce::{ClusterBuilder, WorkloadSpec};
+use p4ce_harness::report::{fmt_f64, print_markdown, TableRow};
+
+struct Row {
+    verb_cost_ns: u64,
+    max_rate_mops: f64,
+    goodput_512b_gbps: f64,
+    goodput_4kib_gbps: f64,
+}
+
+impl TableRow for Row {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "verb_cost_ns",
+            "max_rate_Mops",
+            "goodput_512B_GBps",
+            "goodput_4KiB_GBps",
+        ]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.verb_cost_ns.to_string(),
+            fmt_f64(self.max_rate_mops),
+            fmt_f64(self.goodput_512b_gbps),
+            fmt_f64(self.goodput_4kib_gbps),
+        ]
+    }
+}
+
+fn measure(verb_ns: u64, value_size: usize) -> (f64, f64) {
+    let mut d = ClusterBuilder::new(3)
+        .workload(WorkloadSpec {
+            total_requests: 0,
+            warmup_requests: 0,
+            ..WorkloadSpec::closed(16, value_size, 0)
+        })
+        .verb_cost(SimDuration::from_nanos(verb_ns))
+        .build();
+    d.sim.run_until(SimTime::from_millis(60));
+    let t0 = d.sim.now();
+    d.member_mut(0).reset_measurements(t0);
+    d.sim.run_for(SimDuration::from_millis(10));
+    let now = d.sim.now();
+    let stats = &d.member(0).stats;
+    (
+        stats.throughput.ops_per_sec(now),
+        stats.throughput.goodput_bytes_per_sec(now),
+    )
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for verb_ns in [210u64, 100, 50, 25] {
+        let (rate_64, _) = measure(verb_ns, 64);
+        let (_, good_512) = measure(verb_ns, 512);
+        let (_, good_4k) = measure(verb_ns, 4096);
+        rows.push(Row {
+            verb_cost_ns: verb_ns,
+            max_rate_mops: rate_64 / 1e6,
+            goodput_512b_gbps: good_512 / 1e9,
+            goodput_4kib_gbps: good_4k / 1e9,
+        });
+    }
+    print_markdown(
+        "Supplementary — per-verb CPU cost vs. Fig. 5's saturation knee (P4CE, 2 replicas)",
+        &rows,
+    );
+}

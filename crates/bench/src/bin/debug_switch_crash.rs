@@ -1,0 +1,49 @@
+//! Diagnostic driver for the switch-crash fail-over path (not an
+//! experiment binary; kept for debugging the recovery timeline).
+
+use netsim::SimTime;
+use p4ce::{ClusterBuilder, WorkloadSpec};
+
+fn main() {
+    let mut d = ClusterBuilder::new(3)
+        .workload(WorkloadSpec::closed(2, 64, 0))
+        .backup_fabric(true)
+        .build();
+    d.sim.run_until(SimTime::from_millis(100));
+    println!(
+        "t=100ms leader: accel={} oper={} decided={}",
+        d.leader().is_accelerated(),
+        d.leader().is_operational_leader(),
+        d.leader().stats.decided
+    );
+    d.kill_switch();
+    for ms in [110u64, 130, 160, 170, 200, 260, 300, 400] {
+        d.sim.run_until(SimTime::from_millis(ms));
+        let l = d.leader();
+        println!(
+            "t={ms}ms leader: accel={} oper={} decided={} view={} believed={:?} events={}",
+            l.is_accelerated(),
+            l.is_operational_leader(),
+            l.stats.decided,
+            l.view(),
+            l.believed_leader(),
+            l.stats.events.len(),
+        );
+    }
+    for i in 0..3 {
+        let host = d.sim.node_ref::<rdma::Host<p4ce::P4ceMember>>(d.members[i]);
+        println!(
+            "member {i}: host stats {:?} believed={:?} view={}",
+            host.stats(),
+            host.app().believed_leader(),
+            host.app().view()
+        );
+    }
+    for i in 0..3 {
+        println!("--- member {i} events (first 30) ---");
+        for (t, e) in d.member(i).stats.events.iter().take(30) {
+            println!("  {t} {e:?}");
+        }
+    }
+    println!("sim events processed: {}", d.sim.events_processed());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 5: write goodput vs. item size (Mu vs. P4CE, 2 and
+//! 4 replicas). See EXPERIMENTS.md §E1.
+
+use netsim::SimDuration;
+use p4ce_harness::experiments::fig5_goodput;
+use p4ce_harness::print_markdown;
+
+fn main() {
+    let sizes = fig5_goodput::default_sizes();
+    let rows = fig5_goodput::run(&sizes, &[2, 4], SimDuration::from_millis(20));
+    print_markdown(
+        "Figure 5 — write goodput vs. item size (closed loop, 16 in flight)",
+        &rows,
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 6: latency vs. throughput under open-loop 64 B
+//! load, 2 and 4 replicas. See EXPERIMENTS.md §E3.
+
+use netsim::SimDuration;
+use p4ce_harness::experiments::fig6_latency;
+use p4ce_harness::print_markdown;
+
+fn main() {
+    let rates = fig6_latency::default_rates();
+    let rows = fig6_latency::run(&rates, &[2, 4], SimDuration::from_millis(10));
+    print_markdown("Figure 6 — latency vs. throughput (64 B, open loop)", &rows);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 7: latency of bursts of 64 B consensus. See
+//! EXPERIMENTS.md §E4.
+
+use netsim::SimDuration;
+use p4ce_harness::experiments::fig7_burst;
+use p4ce_harness::print_markdown;
+
+fn main() {
+    let bursts = fig7_burst::default_bursts();
+    let rows = fig7_burst::run(&bursts, &[2, 4], SimDuration::from_millis(20));
+    print_markdown("Figure 7 — burst latency (64 B, closed loop)", &rows);
+}

@@ -1,0 +1,14 @@
+//! Regenerates the §V-C maximum-consensus-rate numbers (64 B values).
+//! See EXPERIMENTS.md §E2.
+
+use netsim::SimDuration;
+use p4ce_harness::experiments::maxrate;
+use p4ce_harness::print_markdown;
+
+fn main() {
+    let rows = maxrate::run(&[2, 4], SimDuration::from_millis(20));
+    print_markdown(
+        "§V-C — maximum consensus rate, 64 B values (closed loop, 16 in flight)",
+        &rows,
+    );
+}

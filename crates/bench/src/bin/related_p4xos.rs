@@ -1,0 +1,13 @@
+//! Regenerates the §VI P4xos comparison: modeled P4xos latency (from its
+//! published operating points) vs. measured P4CE latency. See
+//! EXPERIMENTS.md §E7.
+
+use netsim::SimDuration;
+use p4ce_harness::experiments::related_p4xos;
+use p4ce_harness::print_markdown;
+
+fn main() {
+    let rates = vec![50e3, 100e3, 150e3, 200e3, 500e3, 1.0e6, 2.0e6];
+    let rows = related_p4xos::run(&rates, SimDuration::from_millis(10));
+    print_markdown("§VI — P4xos (modeled) vs. P4CE (measured) latency", &rows);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table IV: average fail-over times. See EXPERIMENTS.md §E5.
+
+use p4ce_harness::experiments::table4_failover;
+use p4ce_harness::print_markdown;
+
+fn main() {
+    let rows = table4_failover::run();
+    print_markdown("Table IV — fail-over times", &rows);
+}

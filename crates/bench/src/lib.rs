@@ -1,0 +1,1 @@
+//! Shared helpers for the P4CE benchmark binaries.

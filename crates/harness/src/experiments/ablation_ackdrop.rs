@@ -1,0 +1,75 @@
+//! E6 — §IV-D ablation: where aggregated ACKs are dropped.
+//!
+//! The paper's first implementation routed every replica ACK to the
+//! leader's egress and dropped it there: the leader's single egress
+//! parser (121 Mpps) capped the *total* ACK rate. Moving the drop into
+//! each replica port's ingress multiplies capacity by the replica count
+//! (121 Mpps *per replica*, 726 Mpps with 6 replicas).
+//!
+//! Real parser rates are far beyond event-level simulation, so this
+//! experiment scales the parser budget down (default: 2 µs/packet ≈
+//! 0.5 Mpps) and shows the same *shape*: egress-drop throughput collapses
+//! as replicas are added while ingress-drop throughput holds.
+
+use netsim::SimDuration;
+use p4ce::AckDropStage;
+use replication::WorkloadSpec;
+
+use crate::report::{fmt_f64, TableRow};
+use crate::runner::{run_point, PointConfig, System};
+
+/// One ablation point.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationRow {
+    /// Where non-final ACKs die.
+    pub drop_stage: AckDropStage,
+    /// Replica count.
+    pub replicas: usize,
+    /// Achieved consensus/s with the scaled-down parser.
+    pub achieved_per_sec: f64,
+}
+
+impl TableRow for AblationRow {
+    fn headers() -> Vec<&'static str> {
+        vec!["ack_drop", "replicas", "achieved_per_s"]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            match self.drop_stage {
+                AckDropStage::Ingress => "ingress (final design)".to_owned(),
+                AckDropStage::Egress => "egress (first attempt)".to_owned(),
+            },
+            self.replicas.to_string(),
+            fmt_f64(self.achieved_per_sec),
+        ]
+    }
+}
+
+/// Runs the ablation over `replica_counts` with the given scaled parser
+/// cost.
+pub fn run(
+    replica_counts: &[usize],
+    parser_cost: SimDuration,
+    window: SimDuration,
+) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for &stage in &[AckDropStage::Ingress, AckDropStage::Egress] {
+        for &replicas in replica_counts {
+            let mut cfg = PointConfig::new(
+                System::P4ce,
+                replicas,
+                WorkloadSpec::closed(16, 64, 0),
+            );
+            cfg.window = window;
+            cfg.parser_cost = Some(parser_cost);
+            cfg.ack_drop = stage;
+            let out = run_point(&cfg);
+            rows.push(AblationRow {
+                drop_stage: stage,
+                replicas,
+                achieved_per_sec: out.ops_per_sec,
+            });
+        }
+    }
+    rows
+}

@@ -1,0 +1,78 @@
+//! E4 — Figure 7: latency of closed-loop bursts of 64 B requests.
+//!
+//! Expected shape: with more consensus "on the fly", Mu becomes
+//! CPU-limited past ≈ 10 outstanding; at bursts of 100, P4CE's latency is
+//! ≈ half of Mu's.
+
+use netsim::SimDuration;
+use replication::WorkloadSpec;
+
+use crate::report::{fmt_f64, TableRow};
+use crate::runner::{run_point, PointConfig, System};
+
+/// One point of the burst-latency curve.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstRow {
+    /// System under test.
+    pub system: System,
+    /// Replica count.
+    pub replicas: usize,
+    /// Consensus kept in flight.
+    pub burst: usize,
+    /// Mean latency, µs.
+    pub mean_latency_us: f64,
+    /// Achieved rate, consensus/s.
+    pub achieved_per_sec: f64,
+}
+
+impl TableRow for BurstRow {
+    fn headers() -> Vec<&'static str> {
+        vec![
+            "system",
+            "replicas",
+            "inflight",
+            "mean_latency_us",
+            "achieved_per_s",
+        ]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.system.to_string(),
+            self.replicas.to_string(),
+            self.burst.to_string(),
+            fmt_f64(self.mean_latency_us),
+            fmt_f64(self.achieved_per_sec),
+        ]
+    }
+}
+
+/// The default burst sizes.
+pub fn default_bursts() -> Vec<usize> {
+    vec![1, 2, 5, 10, 20, 50, 100]
+}
+
+/// Runs the burst-latency sweep.
+pub fn run(bursts: &[usize], replica_counts: &[usize], window: SimDuration) -> Vec<BurstRow> {
+    let mut rows = Vec::new();
+    for &replicas in replica_counts {
+        for &system in &[System::Mu, System::P4ce] {
+            for &burst in bursts {
+                let mut cfg = PointConfig::new(
+                    system,
+                    replicas,
+                    WorkloadSpec::closed(burst, 64, 0),
+                );
+                cfg.window = window;
+                let out = run_point(&cfg);
+                rows.push(BurstRow {
+                    system,
+                    replicas,
+                    burst,
+                    mean_latency_us: out.mean_latency_us,
+                    achieved_per_sec: out.ops_per_sec,
+                });
+            }
+        }
+    }
+    rows
+}

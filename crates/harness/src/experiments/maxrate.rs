@@ -1,0 +1,66 @@
+//! E2 — §V-C prose: maximum consensus rate on small (64 B) values.
+//!
+//! Expected shape: P4CE sustains ≈ 2.3 M consensus/s independent of the
+//! replica count; Mu is CPU-bound at the leader (4 verb interactions per
+//! replica pair) — ≈ 1.9× slower with 2 replicas, ≈ 3.8× with 4.
+
+use netsim::SimDuration;
+use replication::WorkloadSpec;
+
+use crate::report::{fmt_f64, TableRow};
+use crate::runner::{run_point, PointConfig, System};
+
+/// One row of the maximum-rate table.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxRateRow {
+    /// System under test.
+    pub system: System,
+    /// Replica count.
+    pub replicas: usize,
+    /// Maximum sustained consensus per second (millions).
+    pub mops_per_sec: f64,
+    /// Speedup of P4CE over Mu at the same replica count (1.0 for Mu).
+    pub speedup_vs_mu: f64,
+}
+
+impl TableRow for MaxRateRow {
+    fn headers() -> Vec<&'static str> {
+        vec!["system", "replicas", "Mconsensus_per_s", "speedup_vs_mu"]
+    }
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.system.to_string(),
+            self.replicas.to_string(),
+            fmt_f64(self.mops_per_sec),
+            fmt_f64(self.speedup_vs_mu),
+        ]
+    }
+}
+
+/// Runs the maximum-rate experiment for the given replica counts.
+pub fn run(replica_counts: &[usize], window: SimDuration) -> Vec<MaxRateRow> {
+    let mut rows = Vec::new();
+    for &replicas in replica_counts {
+        let measure = |system| {
+            let mut cfg =
+                PointConfig::new(system, replicas, WorkloadSpec::closed(16, 64, 0));
+            cfg.window = window;
+            run_point(&cfg).ops_per_sec
+        };
+        let mu_rate = measure(System::Mu);
+        let p4ce_rate = measure(System::P4ce);
+        rows.push(MaxRateRow {
+            system: System::Mu,
+            replicas,
+            mops_per_sec: mu_rate / 1e6,
+            speedup_vs_mu: 1.0,
+        });
+        rows.push(MaxRateRow {
+            system: System::P4ce,
+            replicas,
+            mops_per_sec: p4ce_rate / 1e6,
+            speedup_vs_mu: p4ce_rate / mu_rate,
+        });
+    }
+    rows
+}

@@ -1,0 +1,9 @@
+//! The per-figure experiment drivers (see DESIGN.md §4 for the index).
+
+pub mod ablation_ackdrop;
+pub mod fig5_goodput;
+pub mod fig6_latency;
+pub mod fig7_burst;
+pub mod maxrate;
+pub mod related_p4xos;
+pub mod table4_failover;

@@ -1,0 +1,27 @@
+//! # p4ce-harness — experiment drivers for the P4CE reproduction
+//!
+//! One module per table/figure of the paper's evaluation (§V), plus the
+//! §IV-D ablation and the §VI P4xos comparison:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`experiments::fig5_goodput`] | Fig. 5 — goodput vs. value size |
+//! | [`experiments::maxrate`] | §V-C — max consensus/s at 64 B |
+//! | [`experiments::fig6_latency`] | Fig. 6 — latency vs. throughput |
+//! | [`experiments::fig7_burst`] | Fig. 7 — burst latency |
+//! | [`experiments::table4_failover`] | Table IV — fail-over times |
+//! | [`experiments::ablation_ackdrop`] | §IV-D — ACK-drop placement |
+//! | [`experiments::related_p4xos`] | §VI — P4xos latency comparison |
+//!
+//! The binaries in `p4ce-bench` are thin wrappers over these modules;
+//! each prints a markdown table whose shape mirrors the paper's artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::{print_markdown, to_csv, to_markdown, write_csv, TableRow};
+pub use runner::{run_point, PointConfig, PointOutcome, System};

@@ -1,0 +1,174 @@
+//! Generic experiment-point runner: build a cluster (Mu or P4CE), warm it
+//! up, measure over a window, collect one outcome.
+
+use netsim::{SimDuration, SimTime};
+use replication::WorkloadSpec;
+use std::fmt;
+
+/// Which replication system a point runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// The Mu baseline: leader writes each replica's log directly.
+    Mu,
+    /// P4CE: in-network scatter/gather through the programmable switch.
+    P4ce,
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            System::Mu => f.write_str("Mu"),
+            System::P4ce => f.write_str("P4CE"),
+        }
+    }
+}
+
+/// Configuration of one measured point.
+#[derive(Debug, Clone)]
+pub struct PointConfig {
+    /// System under test.
+    pub system: System,
+    /// Number of *replicas* (the paper's terminology; the leader is
+    /// extra, so the cluster has `replicas + 1` members).
+    pub replicas: usize,
+    /// The workload the leader drives. `total_requests` is overridden to
+    /// unbounded; measurement is window-based.
+    pub workload: WorkloadSpec,
+    /// Warm-up time after the leader becomes operational.
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub window: SimDuration,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Optional override of the switch parser cost (ablation E6).
+    pub parser_cost: Option<SimDuration>,
+    /// ACK-drop placement for P4CE (ablation E6).
+    pub ack_drop: p4ce::AckDropStage,
+}
+
+impl PointConfig {
+    /// A point with default instrumentation settings.
+    pub fn new(system: System, replicas: usize, workload: WorkloadSpec) -> Self {
+        PointConfig {
+            system,
+            replicas,
+            workload,
+            warmup: SimDuration::from_millis(5),
+            window: SimDuration::from_millis(20),
+            seed: 42,
+            parser_cost: None,
+            ack_drop: p4ce::AckDropStage::Ingress,
+        }
+    }
+}
+
+/// What one point produced.
+#[derive(Debug, Clone, Copy)]
+pub struct PointOutcome {
+    /// Consensus operations decided inside the window.
+    pub decided: u64,
+    /// Decided operations per second.
+    pub ops_per_sec: f64,
+    /// Useful (payload) bytes decided per second.
+    pub goodput_bytes_per_sec: f64,
+    /// Mean decision latency, µs.
+    pub mean_latency_us: f64,
+    /// Median decision latency, µs.
+    pub p50_latency_us: f64,
+    /// 99th-percentile decision latency, µs.
+    pub p99_latency_us: f64,
+    /// `true` if the leader ended the window on the in-network path
+    /// (always `false` for Mu).
+    pub accelerated: bool,
+}
+
+fn sanitize(workload: WorkloadSpec) -> WorkloadSpec {
+    // Window-based measurement: unbounded stream, no internal warm-up
+    // (the harness controls the window explicitly).
+    WorkloadSpec {
+        total_requests: 0,
+        warmup_requests: 0,
+        ..workload
+    }
+}
+
+/// Runs one measured point.
+///
+/// # Panics
+///
+/// Panics if the leader fails to become operational within 500 ms of
+/// simulated time (a deployment bug, not a measurable outcome).
+pub fn run_point(cfg: &PointConfig) -> PointOutcome {
+    match cfg.system {
+        System::Mu => run_mu(cfg),
+        System::P4ce => run_p4ce(cfg),
+    }
+}
+
+fn setup_deadline() -> SimDuration {
+    SimDuration::from_millis(500)
+}
+
+fn run_mu(cfg: &PointConfig) -> PointOutcome {
+    let mut d = mu::ClusterBuilder::new(cfg.replicas + 1)
+        .workload(sanitize(cfg.workload))
+        .seed(cfg.seed)
+        .build();
+    let deadline = SimTime::ZERO + setup_deadline();
+    while !d.leader().is_operational_leader() {
+        assert!(d.sim.now() < deadline, "Mu leader never became operational");
+        d.sim.run_for(SimDuration::from_millis(1));
+    }
+    d.sim.run_for(cfg.warmup);
+    let t0 = d.sim.now();
+    d.member_mut(0).reset_measurements(t0);
+    d.sim.run_for(cfg.window);
+    let now = d.sim.now();
+    let leader = d.member_mut(0);
+    let stats = &mut leader.stats;
+    PointOutcome {
+        decided: stats.throughput.ops(),
+        ops_per_sec: stats.throughput.ops_per_sec(now),
+        goodput_bytes_per_sec: stats.throughput.goodput_bytes_per_sec(now),
+        mean_latency_us: stats.latency.mean().as_micros_f64(),
+        p50_latency_us: stats.latency.percentile(50.0).as_micros_f64(),
+        p99_latency_us: stats.latency.percentile(99.0).as_micros_f64(),
+        accelerated: false,
+    }
+}
+
+fn run_p4ce(cfg: &PointConfig) -> PointOutcome {
+    let mut builder = p4ce::ClusterBuilder::new(cfg.replicas + 1)
+        .workload(sanitize(cfg.workload))
+        .seed(cfg.seed)
+        .ack_drop(cfg.ack_drop);
+    if let Some(parser_cost) = cfg.parser_cost {
+        builder = builder.parser_cost(parser_cost);
+    }
+    let mut d = builder.build();
+    let deadline = SimTime::ZERO + setup_deadline();
+    while !d.leader().is_operational_leader() {
+        assert!(
+            d.sim.now() < deadline,
+            "P4CE leader never became operational"
+        );
+        d.sim.run_for(SimDuration::from_millis(1));
+    }
+    d.sim.run_for(cfg.warmup);
+    let t0 = d.sim.now();
+    d.member_mut(0).reset_measurements(t0);
+    d.sim.run_for(cfg.window);
+    let now = d.sim.now();
+    let accelerated = d.leader().is_accelerated();
+    let leader = d.member_mut(0);
+    let stats = &mut leader.stats;
+    PointOutcome {
+        decided: stats.throughput.ops(),
+        ops_per_sec: stats.throughput.ops_per_sec(now),
+        goodput_bytes_per_sec: stats.throughput.goodput_bytes_per_sec(now),
+        mean_latency_us: stats.latency.mean().as_micros_f64(),
+        p50_latency_us: stats.latency.percentile(50.0).as_micros_f64(),
+        p99_latency_us: stats.latency.percentile(99.0).as_micros_f64(),
+        accelerated,
+    }
+}

@@ -1,0 +1,1115 @@
+//! The Mu member: a complete replica/leader node application.
+//!
+//! Every member runs this same state machine (§III):
+//!
+//! * it exposes a **heartbeat counter** (RDMA-readable by everyone) and a
+//!   **log region** (writable only by the current leader, enforced with
+//!   RDMA permissions);
+//! * it reads every peer's heartbeat each period and feeds a failure
+//!   detector; the live member with the lowest id is the leader;
+//! * the leader opens one queue pair *per replica* and replicates each
+//!   value with one RDMA write per replica, counting acknowledgements on
+//!   its own CPU — the communication pattern P4CE moves into the switch;
+//! * a value is decided once `f` replica NICs acknowledged it.
+//!
+//! View changes re-fence the log: the replica revokes the old leader and
+//! grants the new one after the permission-change delay the paper
+//! measures at 0.9 ms (§V-E).
+
+use bytes::Bytes;
+use netsim::{PortId, SimDuration, SimTime};
+use rdma::{
+    CmEvent, Completion, CompletionStatus, HostOps, Permissions, Psn, Qpn, RdmaApp, RegionAdvert,
+    RegionHandle, RejectReason, WrId,
+};
+use replication::{
+    ArrivalClock, ClusterConfig, FailureDetector, HeartbeatCounter, LogReader, LogWriter,
+    MemberId, ViewTracker, WorkloadMode, WorkloadSpec,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+use crate::stats::{MemberEvent, MemberStats};
+
+// Connection kinds, carried as the first private-data byte.
+const KIND_HEARTBEAT: u8 = 1;
+const KIND_REPLICATION: u8 = 2;
+
+// Application timer classes (within the 56-bit app token space).
+const T_HEARTBEAT: u64 = 1 << 48;
+const T_ARRIVAL: u64 = 2 << 48;
+const T_DEFER_ACCEPT: u64 = 3 << 48;
+const T_RECONNECT: u64 = 4 << 48;
+const T_PATH_RECOVER: u64 = 5 << 48;
+const T_CLASS_MASK: u64 = 0xff << 48;
+const T_DATA_MASK: u64 = !T_CLASS_MASK & ((1 << 56) - 1);
+
+// Work-request id classes.
+const WR_HB: u64 = 1 << 56;
+const WR_REPL: u64 = 2 << 56;
+const WR_CATCHUP: u64 = 3 << 56;
+const WR_CLASS_MASK: u64 = 0xff << 56;
+
+/// Configuration of one Mu member.
+#[derive(Debug, Clone)]
+pub struct MuMemberConfig {
+    /// The cluster this member belongs to.
+    pub cluster: ClusterConfig,
+    /// This member's identity.
+    pub id: MemberId,
+    /// The client workload this member drives *when it is the leader*.
+    pub workload: Option<WorkloadSpec>,
+    /// A backup fabric port, if the host is multi-homed (switch-crash
+    /// fail-over, §V-E).
+    pub backup_port: Option<PortId>,
+    /// Route-update plus reconnection penalty after a path fail-over
+    /// (the bulk of the paper's 60 ms switch-crash recovery).
+    pub path_failover_delay: SimDuration,
+}
+
+impl MuMemberConfig {
+    /// A member of `cluster` with id `id` and no workload.
+    pub fn new(cluster: ClusterConfig, id: MemberId) -> Self {
+        MuMemberConfig {
+            cluster,
+            id,
+            workload: None,
+            backup_port: None,
+            path_failover_delay: SimDuration::from_millis(55),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkState {
+    Idle,
+    Connecting,
+    Ready,
+    Dead,
+}
+
+#[derive(Debug)]
+struct HbLink {
+    state: LinkState,
+    qpn: Option<Qpn>,
+    advert: Option<RegionAdvert>,
+    last_seen: u64,
+    reconnect_backoff: u32,
+}
+
+impl HbLink {
+    fn new() -> Self {
+        HbLink {
+            state: LinkState::Idle,
+            qpn: None,
+            advert: None,
+            last_seen: 0,
+            reconnect_backoff: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ReplLink {
+    state: LinkState,
+    qpn: Option<Qpn>,
+    advert: Option<RegionAdvert>,
+    retry_backoff: u32,
+}
+
+#[derive(Debug)]
+struct PendingDecision {
+    acks: u32,
+    posted: u32,
+    decided: bool,
+    arrived: SimTime,
+    size: usize,
+    /// Where the entry sits in the log (for re-replication after link
+    /// recovery).
+    at: usize,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct DeferredAccept {
+    handshake_id: u64,
+    from_ip: Ipv4Addr,
+    from_qpn: Qpn,
+    start_psn: Psn,
+}
+
+/// The Mu member application. Plug into an [`rdma::Host`].
+pub struct MuMember {
+    cfg: MuMemberConfig,
+    // Regions.
+    log_region: Option<RegionHandle>,
+    hb_region: Option<RegionHandle>,
+    hb_scratch: Option<RegionHandle>,
+    // Decision-protocol state.
+    counter: HeartbeatCounter,
+    detector: FailureDetector,
+    views: ViewTracker,
+    writer: LogWriter,
+    reader: LogReader,
+    // Links.
+    hb_links: BTreeMap<MemberId, HbLink>,
+    repl_links: BTreeMap<MemberId, ReplLink>,
+    handshake_peer: HashMap<u64, (u8, MemberId)>,
+    deferred: HashMap<u64, DeferredAccept>,
+    next_defer: u64,
+    // Leadership.
+    i_am_leader: bool,
+    operational: bool,
+    first_decision_pending: bool,
+    granted_leader: Option<Ipv4Addr>,
+    view_writer_qpns: BTreeSet<u32>,
+    // Replication.
+    pending: BTreeMap<u64, PendingDecision>,
+    // Workload.
+    arrivals: Option<ArrivalClock>,
+    workload_started: bool,
+    payload_proto: Bytes,
+    // Path fail-over.
+    failed_over: bool,
+    /// Heartbeat ticks to wait before feeding the failure detector —
+    /// covers link establishment at start-up and after a path fail-over
+    /// (no information is not a stall).
+    detector_grace: u32,
+    state_machine: Option<Box<dyn replication::StateMachine>>,
+    /// Measurements.
+    pub stats: MemberStats,
+}
+
+impl MuMember {
+    /// Builds the member application.
+    pub fn new(cfg: MuMemberConfig) -> Self {
+        let peers: Vec<MemberId> = cfg.cluster.peers_of(cfg.id).iter().map(|&(id, _)| id).collect();
+        let detector = FailureDetector::new(cfg.cluster.failure_threshold, peers.iter().copied());
+        let hb_links = peers.iter().map(|&id| (id, HbLink::new())).collect();
+        let log_size = cfg.cluster.log_size;
+        MuMember {
+            cfg,
+            log_region: None,
+            hb_region: None,
+            hb_scratch: None,
+            counter: HeartbeatCounter::new(),
+            detector,
+            views: ViewTracker::new(),
+            writer: LogWriter::new(log_size),
+            reader: LogReader::new(),
+            hb_links,
+            repl_links: BTreeMap::new(),
+            handshake_peer: HashMap::new(),
+            deferred: HashMap::new(),
+            next_defer: 0,
+            i_am_leader: false,
+            operational: false,
+            first_decision_pending: false,
+            granted_leader: None,
+            view_writer_qpns: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            arrivals: None,
+            workload_started: false,
+            payload_proto: Bytes::new(),
+            failed_over: false,
+            detector_grace: 10,
+            state_machine: None,
+            stats: MemberStats::default(),
+        }
+    }
+
+    /// Installs the replicated state machine: every decided entry that
+    /// becomes visible in this member's log is applied to it, in order.
+    pub fn set_state_machine(&mut self, sm: Box<dyn replication::StateMachine>) {
+        self.state_machine = Some(sm);
+    }
+
+    /// The installed state machine, for post-run inspection.
+    pub fn state_machine(&self) -> Option<&dyn replication::StateMachine> {
+        self.state_machine.as_deref()
+    }
+
+    /// Proposes a client-supplied value for consensus. Returns `false`
+    /// when this member is not currently an operational leader.
+    pub fn propose_value(&mut self, payload: Bytes, ops: &mut HostOps<'_, '_>) -> bool {
+        if !self.is_operational_leader() {
+            return false;
+        }
+        let now = ops.now();
+        self.propose_payload(payload, now, ops);
+        true
+    }
+
+    /// This member's id.
+    pub fn id(&self) -> MemberId {
+        self.cfg.id
+    }
+
+    /// `true` while this member believes it leads and has a quorum.
+    pub fn is_operational_leader(&self) -> bool {
+        self.i_am_leader && self.operational
+    }
+
+    /// The current view number.
+    pub fn view(&self) -> u64 {
+        self.views.view()
+    }
+
+    /// The leader this member currently believes in.
+    pub fn believed_leader(&self) -> Option<MemberId> {
+        self.views.leader()
+    }
+
+    /// Clears the measurement window (latency samples and throughput),
+    /// restarting it at `now`. Experiment harnesses call this after
+    /// warm-up.
+    pub fn reset_measurements(&mut self, now: SimTime) {
+        self.stats.latency.clear();
+        self.stats.throughput.reset(now);
+    }
+
+    fn my_index(&self) -> usize {
+        self.cfg
+            .cluster
+            .members
+            .iter()
+            .position(|&(id, _)| id == self.cfg.id)
+            .expect("member is part of its cluster")
+    }
+
+    fn peer_index(&self, peer: MemberId) -> usize {
+        self.cfg
+            .cluster
+            .members
+            .iter()
+            .position(|&(id, _)| id == peer)
+            .expect("peer is part of the cluster")
+    }
+
+    // ------------------------------------------------------------------
+    // Heartbeats & views
+    // ------------------------------------------------------------------
+
+    fn heartbeat_tick(&mut self, ops: &mut HostOps<'_, '_>) {
+        // Publish our own liveness.
+        let value = self.counter.tick();
+        if let Some(region) = self.hb_region {
+            ops.write_local(region, 0, &value.to_be_bytes());
+        }
+        // Feed the detector with the freshest knowledge of every peer —
+        // once the grace window for link establishment has passed.
+        let peers: Vec<MemberId> = self.hb_links.keys().copied().collect();
+        if self.detector_grace > 0 {
+            self.detector_grace -= 1;
+        } else {
+            for peer in &peers {
+                let last = self.hb_links[peer].last_seen;
+                self.detector.observe(*peer, last);
+            }
+        }
+        // Issue this round's reads and drive reconnects.
+        for peer in peers {
+            let link = self.hb_links.get_mut(&peer).expect("known peer");
+            match link.state {
+                LinkState::Ready => {
+                    let (qpn, advert) = (
+                        link.qpn.expect("ready link has a QP"),
+                        link.advert.expect("ready link has an advert"),
+                    );
+                    let slot = self.peer_index(peer) * 8;
+                    ops.post_read(
+                        qpn,
+                        WrId(WR_HB | u64::from(peer.0)),
+                        advert.va,
+                        advert.rkey,
+                        8,
+                        self.hb_scratch.expect("registered"),
+                        slot,
+                    );
+                }
+                LinkState::Idle => self.connect_hb(peer, ops),
+                LinkState::Dead => {
+                    link.reconnect_backoff += 1;
+                    if link.reconnect_backoff >= 10 {
+                        link.reconnect_backoff = 0;
+                        self.connect_hb(peer, ops);
+                    }
+                }
+                LinkState::Connecting => {
+                    // A handshake that never completes (its packets died
+                    // with the fabric) must be abandoned and retried.
+                    link.reconnect_backoff += 1;
+                    if link.reconnect_backoff >= 30 {
+                        link.reconnect_backoff = 8; // retry soon
+                        link.state = LinkState::Dead;
+                    }
+                }
+            }
+        }
+        self.update_view(ops);
+        // A dead fabric looks like every peer dying at once: fail over to
+        // the backup path if we have one.
+        if !self.failed_over
+            && self.cfg.backup_port.is_some()
+            && self.detector.alive_peers().is_empty()
+            && self.views.view() > 0
+        {
+            self.path_failover(ops);
+            return;
+        }
+        let period = self.cfg.cluster.heartbeat_period;
+        ops.set_app_timer(period, T_HEARTBEAT);
+    }
+
+    fn connect_hb(&mut self, peer: MemberId, ops: &mut HostOps<'_, '_>) {
+        let ip = self.cfg.cluster.addr_of(peer);
+        let hs = ops.connect(ip, Bytes::from_static(&[KIND_HEARTBEAT]));
+        self.handshake_peer.insert(hs, (KIND_HEARTBEAT, peer));
+        self.hb_links.get_mut(&peer).expect("known peer").state = LinkState::Connecting;
+    }
+
+    fn update_view(&mut self, ops: &mut HostOps<'_, '_>) {
+        let mut alive: BTreeSet<MemberId> = self.detector.alive_peers();
+        alive.insert(self.cfg.id);
+        let Some(change) = self.views.update(&alive) else {
+            // Even without a leadership change, a leader may need to
+            // exclude replicas that died.
+            if self.i_am_leader {
+                self.exclude_dead_replicas(ops);
+            }
+            return;
+        };
+        self.stats.event(
+            ops.now(),
+            MemberEvent::ViewChange {
+                view: change.view,
+                leader: change.new,
+            },
+        );
+        let i_lead = change.new == Some(self.cfg.id);
+        if i_lead && !self.i_am_leader {
+            self.become_leader(change.view, ops);
+        } else if !i_lead {
+            self.i_am_leader = false;
+            self.operational = false;
+            // Re-fence the log for the new leader: the old grant dies
+            // now; the new one is installed when the leader connects
+            // (after the permission-change delay).
+            if let (Some(region), Some(old)) = (self.log_region, self.granted_leader.take()) {
+                ops.revoke(region, old);
+            }
+        }
+    }
+
+    fn exclude_dead_replicas(&mut self, ops: &mut HostOps<'_, '_>) {
+        let dead: Vec<MemberId> = self
+            .repl_links
+            .iter()
+            .filter(|&(id, link)| link.state == LinkState::Ready && !self.detector.is_alive(*id))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead {
+            if let Some(link) = self.repl_links.get_mut(&id) {
+                link.state = LinkState::Dead;
+                if let Some(qpn) = link.qpn.take() {
+                    ops.destroy_qp(qpn);
+                }
+            }
+            self.stats.event(ops.now(), MemberEvent::ReplicaExcluded { id });
+        }
+        // Self-healing: replicas that are alive again (e.g. after a path
+        // fail-over) get their replication link re-established.
+        let peers: Vec<MemberId> = self
+            .cfg
+            .cluster
+            .peers_of(self.cfg.id)
+            .iter()
+            .map(|&(id, _)| id)
+            .collect();
+        for peer in peers {
+            if !self.detector.is_alive(peer) {
+                continue;
+            }
+            let needs_connect = match self.repl_links.get_mut(&peer) {
+                None => true,
+                Some(link) if link.state == LinkState::Dead => {
+                    link.retry_backoff += 1;
+                    link.retry_backoff >= 10
+                }
+                Some(link) if link.state == LinkState::Connecting => {
+                    // Abandon handshakes that died with the fabric.
+                    link.retry_backoff += 1;
+                    if link.retry_backoff >= 30 {
+                        link.state = LinkState::Dead;
+                        link.retry_backoff = 8;
+                    }
+                    false
+                }
+                Some(_) => false,
+            };
+            if needs_connect {
+                self.retry_repl_connect(peer, ops);
+            }
+        }
+    }
+
+    /// Tears down and re-establishes the replication connections (the
+    /// "configure a new communication group" scenario of Table IV). Only
+    /// meaningful on the current leader.
+    pub fn force_rebuild_comm(&mut self, ops: &mut HostOps<'_, '_>) {
+        if !self.i_am_leader {
+            return;
+        }
+        self.operational = false;
+        self.stats.event(ops.now(), MemberEvent::CommRebuildStarted);
+        for link in self.repl_links.values_mut() {
+            if let Some(qpn) = link.qpn.take() {
+                ops.destroy_qp(qpn);
+            }
+        }
+        self.repl_links.clear();
+        let peers: Vec<(MemberId, Ipv4Addr)> = self.cfg.cluster.peers_of(self.cfg.id);
+        for (peer, ip) in peers {
+            if !self.detector.is_alive(peer) {
+                continue;
+            }
+            let hs = ops.connect(ip, Bytes::from_static(&[KIND_REPLICATION]));
+            self.handshake_peer.insert(hs, (KIND_REPLICATION, peer));
+            self.repl_links.insert(
+                peer,
+                ReplLink {
+                    state: LinkState::Connecting,
+                    qpn: None,
+                    advert: None,
+                    retry_backoff: 0,
+                },
+            );
+        }
+    }
+
+    fn become_leader(&mut self, view: u64, ops: &mut HostOps<'_, '_>) {
+        self.i_am_leader = true;
+        self.operational = false;
+        self.workload_started = false;
+        self.first_decision_pending = true;
+        self.stats.event(ops.now(), MemberEvent::BecameLeader { view });
+        // Continue the log from what we consumed as a replica.
+        self.writer.resume(self.reader.offset(), self.reader.consumed());
+        // Open replication connections to every live replica.
+        self.repl_links.clear();
+        let peers: Vec<(MemberId, Ipv4Addr)> = self.cfg.cluster.peers_of(self.cfg.id);
+        for (peer, ip) in peers {
+            if !self.detector.is_alive(peer) {
+                continue;
+            }
+            let hs = ops.connect(ip, Bytes::from_static(&[KIND_REPLICATION]));
+            self.handshake_peer.insert(hs, (KIND_REPLICATION, peer));
+            self.repl_links.insert(
+                peer,
+                ReplLink {
+                    state: LinkState::Connecting,
+                    qpn: None,
+                    advert: None,
+                    retry_backoff: 0,
+                },
+            );
+        }
+    }
+
+    fn ready_links(&self) -> usize {
+        self.repl_links
+            .values()
+            .filter(|l| l.state == LinkState::Ready)
+            .count()
+    }
+
+    fn maybe_operational(&mut self, ops: &mut HostOps<'_, '_>) {
+        if self.i_am_leader && !self.operational && self.ready_links() >= self.cfg.cluster.f() {
+            self.operational = true;
+            self.stats
+                .event(ops.now(), MemberEvent::LeaderOperational { view: self.views.view() });
+        }
+        // Benchmark hygiene: the workload starts once every *live*
+        // replica is wired up, so early entries reach everyone.
+        if self.i_am_leader
+            && self.operational
+            && !self.workload_started
+            && self.ready_links() >= self.detector.alive_peers().len()
+        {
+            self.workload_started = true;
+            self.start_workload(ops);
+        }
+    }
+
+    fn path_failover(&mut self, ops: &mut HostOps<'_, '_>) {
+        self.failed_over = true;
+        self.first_decision_pending = true;
+        self.stats.event(ops.now(), MemberEvent::PathFailover);
+        let backup = self.cfg.backup_port.expect("checked by caller");
+        ops.set_active_port(backup);
+        // Tear down everything bound to the dead path.
+        for link in self.hb_links.values_mut() {
+            if let Some(qpn) = link.qpn.take() {
+                ops.destroy_qp(qpn);
+            }
+            link.state = LinkState::Dead;
+            link.reconnect_backoff = 0;
+        }
+        for link in self.repl_links.values_mut() {
+            if let Some(qpn) = link.qpn.take() {
+                ops.destroy_qp(qpn);
+            }
+            link.state = LinkState::Dead;
+        }
+        self.operational = false;
+        // Routes re-converge and connections re-establish after the
+        // fail-over penalty; heartbeats resume then.
+        ops.set_app_timer(self.cfg.path_failover_delay, T_PATH_RECOVER);
+    }
+
+    // ------------------------------------------------------------------
+    // Workload
+    // ------------------------------------------------------------------
+
+    fn start_workload(&mut self, ops: &mut HostOps<'_, '_>) {
+        let Some(spec) = self.cfg.workload else {
+            return;
+        };
+        if self.payload_proto.len() != spec.value_size {
+            self.payload_proto = Bytes::from(vec![0xCD; spec.value_size]);
+        }
+        match spec.mode {
+            WorkloadMode::OpenLoop { rate_per_sec } => {
+                let clock = ArrivalClock::new(ops.now(), rate_per_sec);
+                let first = clock.next_arrival();
+                self.arrivals = Some(clock);
+                ops.set_app_timer(first.saturating_duration_since(ops.now()), T_ARRIVAL);
+            }
+            WorkloadMode::Closed { inflight } => {
+                for _ in 0..inflight {
+                    if self.workload_done(&spec) {
+                        break;
+                    }
+                    let now = ops.now();
+                    self.propose(now, ops);
+                }
+            }
+        }
+    }
+
+    fn workload_done(&self, spec: &WorkloadSpec) -> bool {
+        spec.total_requests != 0 && self.stats.issued >= spec.total_requests
+    }
+
+    fn arrival_tick(&mut self, ops: &mut HostOps<'_, '_>) {
+        let Some(spec) = self.cfg.workload else {
+            return;
+        };
+        if !self.operational || self.workload_done(&spec) {
+            return;
+        }
+        let now = ops.now();
+        self.propose(now, ops);
+        if let Some(clock) = &mut self.arrivals {
+            let next = clock.advance();
+            if !self.workload_done(&spec) {
+                ops.set_app_timer(next.saturating_duration_since(ops.now()), T_ARRIVAL);
+            }
+        }
+    }
+
+    /// Starts one consensus: append locally, replicate to every ready
+    /// replica, and wait for `f` acknowledgements.
+    fn propose(&mut self, arrived: SimTime, ops: &mut HostOps<'_, '_>) {
+        let payload = self.payload_proto.clone();
+        self.propose_payload(payload, arrived, ops);
+    }
+
+    fn propose_payload(&mut self, payload: Bytes, arrived: SimTime, ops: &mut HostOps<'_, '_>) {
+        debug_assert!(self.i_am_leader && self.operational);
+        let size = payload.len();
+        let Ok((entry, bytes, at)) = self.writer.append(payload) else {
+            return; // log full: experiments size logs to avoid this
+        };
+        let region = self.log_region.expect("registered at start");
+        ops.write_local(region, at, &bytes);
+        self.stats.issued += 1;
+        let mut posted = 0u32;
+        let links: Vec<(MemberId, Qpn, RegionAdvert)> = self
+            .repl_links
+            .iter()
+            .filter(|(_, l)| l.state == LinkState::Ready)
+            .map(|(&id, l)| (id, l.qpn.expect("ready"), l.advert.expect("ready")))
+            .collect();
+        for (peer, qpn, advert) in links {
+            ops.post_write(
+                qpn,
+                WrId(WR_REPL | (u64::from(peer.0) << 48) | entry.seq),
+                advert.va + at as u64,
+                advert.rkey,
+                bytes.clone(),
+            );
+            posted += 1;
+        }
+        self.pending.insert(
+            entry.seq,
+            PendingDecision {
+                acks: 0,
+                posted,
+                decided: false,
+                arrived,
+                size,
+                at,
+                len: bytes.len(),
+            },
+        );
+    }
+
+    /// Re-replicates undecided entries to a freshly connected link and
+    /// tops a closed-loop workload back up after an outage.
+    fn recover_pipeline(&mut self, peer: MemberId, ops: &mut HostOps<'_, '_>) {
+        if let Some(link) = self.repl_links.get(&peer) {
+            if let (Some(qpn), Some(advert)) = (link.qpn, link.advert) {
+                let region = self.log_region.expect("registered");
+                let undecided: Vec<(u64, usize, usize)> = self
+                    .pending
+                    .iter()
+                    .filter(|(_, p)| !p.decided)
+                    .map(|(&seq, p)| (seq, p.at, p.len))
+                    .collect();
+                for (seq, at, len) in undecided {
+                    let data = Bytes::copy_from_slice(ops.read_local(region, at, len));
+                    ops.post_write(
+                        qpn,
+                        WrId(WR_REPL | (u64::from(peer.0) << 48) | seq),
+                        advert.va + at as u64,
+                        advert.rkey,
+                        data,
+                    );
+                    if let Some(p) = self.pending.get_mut(&seq) {
+                        p.posted += 1;
+                    }
+                }
+            }
+        }
+        let Some(spec) = self.cfg.workload else {
+            return;
+        };
+        let WorkloadMode::Closed { inflight } = spec.mode else {
+            return;
+        };
+        if !self.workload_started || !self.operational {
+            return;
+        }
+        let outstanding = self.pending.values().filter(|p| !p.decided).count();
+        let mut deficit = inflight.saturating_sub(outstanding);
+        while deficit > 0 && !self.workload_done(&spec) {
+            let now = ops.now();
+            self.propose(now, ops);
+            deficit -= 1;
+        }
+    }
+
+    fn on_repl_completion(&mut self, peer: MemberId, seq: u64, c: &Completion, ops: &mut HostOps<'_, '_>) {
+        if !c.status.is_success() {
+            // The replica (or the path to it) failed: exclude it.
+            if let Some(link) = self.repl_links.get_mut(&peer) {
+                if link.state == LinkState::Ready {
+                    link.state = LinkState::Dead;
+                    if let Some(qpn) = link.qpn.take() {
+                        ops.destroy_qp(qpn);
+                    }
+                    self.stats
+                        .event(ops.now(), MemberEvent::ReplicaExcluded { id: peer });
+                }
+            }
+            if let Some(p) = self.pending.get_mut(&seq) {
+                p.posted = p.posted.saturating_sub(1);
+            }
+            if self.ready_links() < self.cfg.cluster.f() {
+                self.operational = false;
+            }
+            return;
+        }
+        let f = self.cfg.cluster.f() as u32;
+        self.stats.min_credit_seen = self.stats.min_credit_seen.min(c.credits);
+        let now = ops.now();
+        let Some(p) = self.pending.get_mut(&seq) else {
+            return;
+        };
+        p.acks += 1;
+        let mut decided_now = false;
+        if !p.decided && p.acks >= f {
+            p.decided = true;
+            decided_now = true;
+        }
+        let cleanup = p.acks >= p.posted;
+        let (arrived, size) = (p.arrived, p.size);
+        if cleanup {
+            self.pending.remove(&seq);
+        }
+        if decided_now {
+            self.record_decision(seq, arrived, size, now, ops);
+        }
+    }
+
+    fn record_decision(
+        &mut self,
+        seq: u64,
+        arrived: SimTime,
+        size: usize,
+        now: SimTime,
+        ops: &mut HostOps<'_, '_>,
+    ) {
+        self.stats.decided += 1;
+        if self.first_decision_pending {
+            self.first_decision_pending = false;
+            self.stats.event(
+                now,
+                MemberEvent::FirstDecision {
+                    view: self.views.view(),
+                    seq,
+                },
+            );
+        }
+        if let Some(spec) = self.cfg.workload {
+            if self.stats.decided == spec.warmup_requests {
+                self.stats.throughput.reset(now);
+                self.stats.latency.clear();
+            } else if self.stats.decided > spec.warmup_requests {
+                self.stats.latency.record(now.saturating_duration_since(arrived));
+                self.stats.throughput.record(size as u64);
+            }
+            // Closed loop: a decision frees a slot.
+            if matches!(spec.mode, WorkloadMode::Closed { .. })
+                && !self.workload_done(&spec)
+                && self.operational
+            {
+                self.propose(now, ops);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Connection management
+    // ------------------------------------------------------------------
+
+    fn on_connect_request(
+        &mut self,
+        handshake_id: u64,
+        from_ip: Ipv4Addr,
+        from_qpn: Qpn,
+        start_psn: Psn,
+        private_data: &[u8],
+        ops: &mut HostOps<'_, '_>,
+    ) {
+        match private_data.first() {
+            Some(&KIND_HEARTBEAT) => {
+                let region = self.hb_region.expect("registered at start");
+                let info = ops.region_info(region);
+                let advert = RegionAdvert {
+                    va: info.va,
+                    rkey: info.rkey,
+                    len: info.len,
+                };
+                ops.accept(handshake_id, from_ip, from_qpn, start_psn, advert.encode());
+            }
+            Some(&KIND_REPLICATION) => {
+                // Only the member we believe leads may write our log
+                // (§III). The grant itself takes the permission-change
+                // delay to apply; the reply signals readiness.
+                let believed = self.views.leader().map(|id| self.cfg.cluster.addr_of(id));
+                if believed != Some(from_ip) {
+                    ops.reject(handshake_id, from_ip, RejectReason::NotAuthorized);
+                    return;
+                }
+                let key = self.next_defer;
+                self.next_defer += 1;
+                self.deferred.insert(
+                    key,
+                    DeferredAccept {
+                        handshake_id,
+                        from_ip,
+                        from_qpn,
+                        start_psn,
+                    },
+                );
+                // The permission change only costs 0.9 ms when the grant
+                // actually changes; the incumbent leader re-connecting
+                // (e.g. a fresh communication group) pays nothing.
+                let delay = if self.granted_leader == Some(from_ip) {
+                    SimDuration::ZERO
+                } else {
+                    self.cfg.cluster.permission_change_delay
+                };
+                ops.set_app_timer(delay, T_DEFER_ACCEPT | key);
+            }
+            _ => ops.reject(handshake_id, from_ip, RejectReason::NotListening),
+        }
+    }
+
+    fn finish_deferred_accept(&mut self, key: u64, ops: &mut HostOps<'_, '_>) {
+        let Some(d) = self.deferred.remove(&key) else {
+            return;
+        };
+        // The leader may have changed while the grant was applying.
+        let believed = self.views.leader().map(|id| self.cfg.cluster.addr_of(id));
+        if believed != Some(d.from_ip) {
+            ops.reject(d.handshake_id, d.from_ip, RejectReason::NotAuthorized);
+            return;
+        }
+        let region = self.log_region.expect("registered at start");
+        let new_epoch = self.granted_leader != Some(d.from_ip);
+        if new_epoch {
+            if let Some(old) = self.granted_leader.take() {
+                ops.revoke(region, old);
+            }
+            ops.grant(region, d.from_ip, Permissions::WRITE);
+            self.granted_leader = Some(d.from_ip);
+        }
+        let info = ops.region_info(region);
+        let advert = RegionAdvert {
+            va: info.va,
+            rkey: info.rkey,
+            len: info.len,
+        };
+        let qpn = ops.accept(
+            d.handshake_id,
+            d.from_ip,
+            d.from_qpn,
+            d.start_psn,
+            advert.encode(),
+        );
+        if new_epoch {
+            // Fence: only this epoch's queue pairs may write the log, so
+            // a deposed leader's stale connection NAKs. A new leader also
+            // means a new epoch of the log.
+            self.view_writer_qpns.clear();
+            self.reader.reset();
+            ops.write_local(region, 0, &[0u8; 16]);
+        }
+        self.view_writer_qpns.insert(qpn.masked());
+        ops.set_allowed_writer_qpns(region, Some(self.view_writer_qpns.clone()));
+    }
+
+    fn on_connected(
+        &mut self,
+        handshake_id: u64,
+        qpn: Qpn,
+        private_data: &[u8],
+        ops: &mut HostOps<'_, '_>,
+    ) {
+        let Some((kind, peer)) = self.handshake_peer.remove(&handshake_id) else {
+            return;
+        };
+        let advert = RegionAdvert::decode(private_data).ok();
+        match kind {
+            KIND_HEARTBEAT => {
+                if let Some(link) = self.hb_links.get_mut(&peer) {
+                    link.state = LinkState::Ready;
+                    link.qpn = Some(qpn);
+                    link.advert = advert;
+                    link.reconnect_backoff = 0;
+                }
+            }
+            KIND_REPLICATION => {
+                if let Some(link) = self.repl_links.get_mut(&peer) {
+                    link.state = LinkState::Ready;
+                    link.qpn = Some(qpn);
+                    link.advert = advert;
+                }
+                // Catch the replica up on everything already appended so
+                // its log has no gap (simplified Mu state transfer).
+                let prefix = self.writer.offset();
+                if prefix > 0 {
+                    if let Some(advert) = advert {
+                        // Chunked state transfer: bounded-size writes keep
+                        // each request comfortably inside the transport's
+                        // retransmission timeout.
+                        const CHUNK: usize = 64 << 10;
+                        let region = self.log_region.expect("registered");
+                        let mut off = 0usize;
+                        while off < prefix {
+                            let end = (off + CHUNK).min(prefix);
+                            let data =
+                                Bytes::copy_from_slice(ops.read_local(region, off, end - off));
+                            ops.post_write(
+                                qpn,
+                                WrId(WR_CATCHUP | u64::from(peer.0)),
+                                advert.va + off as u64,
+                                advert.rkey,
+                                data,
+                            );
+                            off = end;
+                        }
+                    }
+                }
+                self.maybe_operational(ops);
+                self.recover_pipeline(peer, ops);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_rejected(&mut self, handshake_id: u64, ops: &mut HostOps<'_, '_>) {
+        let Some((kind, peer)) = self.handshake_peer.remove(&handshake_id) else {
+            return;
+        };
+        match kind {
+            KIND_HEARTBEAT => {
+                if let Some(link) = self.hb_links.get_mut(&peer) {
+                    link.state = LinkState::Dead;
+                }
+            }
+            KIND_REPLICATION
+                // The replica has not adopted us yet: retry shortly.
+                if self.i_am_leader => {
+                    ops.set_app_timer(
+                        SimDuration::from_micros(200),
+                        T_RECONNECT | u64::from(peer.0),
+                    );
+                }
+            _ => {}
+        }
+    }
+
+    fn retry_repl_connect(&mut self, peer: MemberId, ops: &mut HostOps<'_, '_>) {
+        if !self.i_am_leader || !self.detector.is_alive(peer) {
+            return;
+        }
+        let ip = self.cfg.cluster.addr_of(peer);
+        let hs = ops.connect(ip, Bytes::from_static(&[KIND_REPLICATION]));
+        self.handshake_peer.insert(hs, (KIND_REPLICATION, peer));
+        self.repl_links.insert(
+            peer,
+            ReplLink {
+                state: LinkState::Connecting,
+                qpn: None,
+                advert: None,
+                retry_backoff: 0,
+            },
+        );
+    }
+}
+
+impl RdmaApp for MuMember {
+    fn on_start(&mut self, ops: &mut HostOps<'_, '_>) {
+        // The log: writable only by the (future) leader.
+        let log = ops.register_region(self.cfg.cluster.log_size, Permissions::NONE);
+        ops.watch_region(log);
+        self.log_region = Some(log);
+        // The heartbeat counter: readable by everyone.
+        let hb = ops.register_region(8, Permissions::READ);
+        self.hb_region = Some(hb);
+        // Landing pad for our reads of peers' counters.
+        let scratch = ops.register_region(8 * self.cfg.cluster.n(), Permissions::NONE);
+        self.hb_scratch = Some(scratch);
+        let _ = self.my_index();
+        // Kick the heartbeat loop; the first tick also opens hb links.
+        ops.set_app_timer(self.cfg.cluster.heartbeat_period, T_HEARTBEAT);
+    }
+
+    fn on_completion(&mut self, c: Completion, ops: &mut HostOps<'_, '_>) {
+        let class = c.wr_id.0 & WR_CLASS_MASK;
+        match class {
+            WR_HB => {
+                let peer = MemberId((c.wr_id.0 & 0xff) as u8);
+                if c.status.is_success() {
+                    let slot = self.peer_index(peer) * 8;
+                    let raw = ops.read_local(self.hb_scratch.expect("registered"), slot, 8);
+                    let value = u64::from_be_bytes(raw.try_into().expect("8 bytes"));
+                    if let Some(link) = self.hb_links.get_mut(&peer) {
+                        link.last_seen = value;
+                    }
+                } else if let Some(link) = self.hb_links.get_mut(&peer) {
+                    if c.status != CompletionStatus::Flushed {
+                        if let Some(qpn) = link.qpn.take() {
+                            ops.destroy_qp(qpn);
+                        }
+                    } else {
+                        link.qpn = None;
+                    }
+                    link.state = LinkState::Dead;
+                }
+            }
+            WR_REPL => {
+                let peer = MemberId(((c.wr_id.0 >> 48) & 0xff) as u8);
+                let seq = c.wr_id.0 & 0xffff_ffff_ffff;
+                self.on_repl_completion(peer, seq, &c, ops);
+            }
+            WR_CATCHUP => {} // state transfer; not part of any decision
+            _ => {}
+        }
+    }
+
+    fn on_cm_event(&mut self, ev: CmEvent, ops: &mut HostOps<'_, '_>) {
+        match ev {
+            CmEvent::ConnectRequestReceived {
+                handshake_id,
+                from_ip,
+                from_qpn,
+                start_psn,
+                private_data,
+            } => self.on_connect_request(
+                handshake_id,
+                from_ip,
+                from_qpn,
+                start_psn,
+                &private_data,
+                ops,
+            ),
+            CmEvent::Connected {
+                handshake_id,
+                qpn,
+                private_data,
+                ..
+            } => self.on_connected(handshake_id, qpn, &private_data, ops),
+            CmEvent::Rejected { handshake_id, .. } => self.on_rejected(handshake_id, ops),
+            CmEvent::Established { .. } => {}
+        }
+    }
+
+    fn on_remote_write(
+        &mut self,
+        region: RegionHandle,
+        _offset: u64,
+        _len: usize,
+        ops: &mut HostOps<'_, '_>,
+    ) {
+        if Some(region) != self.log_region {
+            return;
+        }
+        // Consume complete entries (torn tails wait for their canary).
+        let log_size = self.cfg.cluster.log_size;
+        let entries = {
+            let log = ops.read_local(region, 0, log_size);
+            self.reader.drain(log).unwrap_or_default()
+        };
+        self.stats.applied += entries.len() as u64;
+        if let Some(sm) = &mut self.state_machine {
+            for entry in &entries {
+                sm.apply(entry);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ops: &mut HostOps<'_, '_>) {
+        let class = token & T_CLASS_MASK;
+        let data = token & T_DATA_MASK;
+        match class {
+            T_HEARTBEAT => self.heartbeat_tick(ops),
+            T_ARRIVAL => self.arrival_tick(ops),
+            T_DEFER_ACCEPT => self.finish_deferred_accept(data, ops),
+            T_RECONNECT => self.retry_repl_connect(MemberId((data & 0xff) as u8), ops),
+            T_PATH_RECOVER => {
+                // Routes have re-converged on the backup fabric: resume
+                // heartbeats (links reconnect lazily from the tick).
+                for link in self.hb_links.values_mut() {
+                    link.state = LinkState::Idle;
+                }
+                self.heartbeat_tick(ops);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Measurement state shared by the Mu and P4CE replication engines.
+
+use netsim::{LatencyStats, SimDuration, SimTime, Throughput};
+use replication::MemberId;
+
+/// Cluster-visible happenings, timestamped for the fail-over experiments
+/// (Table IV).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberEvent {
+    /// The member observed a leadership change.
+    ViewChange {
+        /// New view number.
+        view: u64,
+        /// New leader, if any member is alive.
+        leader: Option<MemberId>,
+    },
+    /// This member became leader.
+    BecameLeader {
+        /// The view it leads.
+        view: u64,
+    },
+    /// The leader reached a replication quorum and can decide values.
+    LeaderOperational {
+        /// The view it leads.
+        view: u64,
+    },
+    /// The leader excluded a crashed replica from replication.
+    ReplicaExcluded {
+        /// The excluded member.
+        id: MemberId,
+    },
+    /// The member switched to its backup network path.
+    PathFailover,
+    /// The first value decided in a view (fail-over end marker).
+    FirstDecision {
+        /// The view in which it was decided.
+        view: u64,
+        /// Its consensus sequence number.
+        seq: u64,
+    },
+    /// The communication group (re-)established through the switch
+    /// (P4CE only).
+    GroupEstablished,
+    /// The member fell back to direct, un-accelerated replication
+    /// (P4CE only, §III-A).
+    FellBack,
+    /// A harness-initiated communication rebuild began (Table IV, "new
+    /// communication group").
+    CommRebuildStarted,
+}
+
+/// Per-member measurement state.
+#[derive(Debug)]
+pub struct MemberStats {
+    /// Consensus operations decided (leader side).
+    pub decided: u64,
+    /// Requests issued to the replication engine.
+    pub issued: u64,
+    /// Latency samples (excludes the warm-up prefix).
+    pub latency: LatencyStats,
+    /// Decided-operations throughput window (excludes warm-up).
+    pub throughput: Throughput,
+    /// Entries applied from the log (replica side).
+    pub applied: u64,
+    /// The lowest flow-control credit count observed on successful
+    /// acknowledgements (leader side; 31 = never constrained).
+    pub min_credit_seen: u8,
+    /// Timestamped cluster events.
+    pub events: Vec<(SimTime, MemberEvent)>,
+}
+
+impl Default for MemberStats {
+    fn default() -> Self {
+        MemberStats {
+            decided: 0,
+            issued: 0,
+            latency: LatencyStats::default(),
+            throughput: Throughput::default(),
+            applied: 0,
+            min_credit_seen: 31,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl MemberStats {
+    /// Records an event at `now`.
+    pub fn event(&mut self, now: SimTime, ev: MemberEvent) {
+        self.events.push((now, ev));
+    }
+
+    /// The instant of the first event matching `pred`, if any.
+    pub fn event_time(&self, pred: impl Fn(&MemberEvent) -> bool) -> Option<SimTime> {
+        self.events
+            .iter()
+            .find(|(_, e)| pred(e))
+            .map(|&(t, _)| t)
+    }
+
+    /// The instant of the first event matching `pred` at or after
+    /// `after`, if any.
+    pub fn event_time_after(
+        &self,
+        after: SimTime,
+        pred: impl Fn(&MemberEvent) -> bool,
+    ) -> Option<SimTime> {
+        self.events
+            .iter()
+            .find(|&&(t, ref e)| t >= after && pred(e))
+            .map(|&(t, _)| t)
+    }
+
+    /// Mean decided latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        self.latency.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_lookup() {
+        let mut s = MemberStats::default();
+        s.event(
+            SimTime::from_micros(5),
+            MemberEvent::BecameLeader { view: 1 },
+        );
+        s.event(
+            SimTime::from_micros(9),
+            MemberEvent::FirstDecision { view: 1, seq: 0 },
+        );
+        let t = s
+            .event_time(|e| matches!(e, MemberEvent::FirstDecision { view: 1, .. }))
+            .expect("recorded");
+        assert_eq!(t, SimTime::from_micros(9));
+        assert!(s
+            .event_time(|e| matches!(e, MemberEvent::PathFailover))
+            .is_none());
+    }
+}

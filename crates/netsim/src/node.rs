@@ -1,0 +1,204 @@
+//! Node abstraction and the context handed to node callbacks.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use std::any::Any;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a node inside a [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node (stable for the lifetime of the simulation).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a port on a node. Ports are allocated in connection order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub(crate) u32);
+
+impl PortId {
+    /// Builds a port id from its index (ports are allocated in
+    /// connection order).
+    pub const fn from_index(i: u32) -> PortId {
+        PortId(i)
+    }
+
+    /// The raw index of this port on its node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An opaque timer cookie. The simulator echoes it back verbatim in
+/// [`Node::on_timer`]; nodes encode whatever multiplexing they need in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// A frame on the wire: the full Ethernet frame from destination MAC through
+/// payload. Layer-1 overhead (preamble/FCS/IFG) is added by the link model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Serialized frame contents.
+    pub data: Bytes,
+}
+
+impl Frame {
+    /// Wraps serialized frame bytes.
+    pub fn new(data: Bytes) -> Self {
+        Frame { data }
+    }
+
+    /// Length of the frame payload (excluding layer-1 overhead).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the frame carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Bytes> for Frame {
+    fn from(data: Bytes) -> Self {
+        Frame { data }
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    fn from(data: Vec<u8>) -> Self {
+        Frame {
+            data: Bytes::from(data),
+        }
+    }
+}
+
+/// Deferred side effects produced by a node callback; drained by the engine.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Send {
+        node: NodeId,
+        port: PortId,
+        frame: Frame,
+    },
+    Timer {
+        node: NodeId,
+        at: SimTime,
+        token: TimerToken,
+    },
+}
+
+/// The environment handed to every node callback.
+///
+/// All side effects (sending frames, arming timers) are buffered and applied
+/// by the engine after the callback returns, which keeps node code free of
+/// re-entrancy concerns.
+pub struct Context<'a> {
+    /// The current simulated instant.
+    pub now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) actions: &'a mut Vec<Action>,
+    pub(crate) rng: &'a mut StdRng,
+}
+
+impl Context<'_> {
+    /// The id of the node whose callback is running.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transmits `frame` on `port`. Delivery time is governed by the link's
+    /// bandwidth, queue occupancy and propagation delay.
+    pub fn send(&mut self, port: PortId, frame: Frame) {
+        self.actions.push(Action::Send {
+            node: self.node,
+            port,
+            frame,
+        });
+    }
+
+    /// Arms a one-shot timer that fires `after` from now with `token`.
+    pub fn schedule(&mut self, after: SimDuration, token: TimerToken) {
+        self.schedule_at(self.now + after, token);
+    }
+
+    /// Arms a one-shot timer at the absolute instant `at` with `token`.
+    pub fn schedule_at(&mut self, at: SimTime, token: TimerToken) {
+        debug_assert!(at >= self.now, "timer scheduled in the past");
+        self.actions.push(Action::Timer {
+            node: self.node,
+            at,
+            token,
+        });
+    }
+
+    /// The simulation's deterministic random-number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A simulated network element: a server, a NIC+host combo, a switch, a
+/// traffic source, …
+///
+/// Nodes only interact through frames on links and through their own timers,
+/// which keeps every component independently testable.
+pub trait Node: Any {
+    /// Called once when the simulation starts, before any event fires.
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a frame arrives on `port`.
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut Context<'_>);
+
+    /// Called when a timer armed via [`Context::schedule`] fires.
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_>) {
+        let _ = (token, ctx);
+    }
+
+    /// Human-readable label used in traces and panics.
+    fn label(&self) -> String {
+        "node".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_constructors() {
+        let f: Frame = vec![1u8, 2, 3].into();
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        let g = Frame::new(Bytes::from_static(b""));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(PortId(2).to_string(), "p2");
+        assert_eq!(NodeId(4).index(), 4);
+        assert_eq!(PortId(2).index(), 2);
+    }
+}

@@ -1,0 +1,609 @@
+//! The discrete-event simulation engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::link::{DirLink, LinkSpec, LinkStats};
+use crate::node::{Action, Context, Frame, Node, NodeId, PortId, TimerToken};
+use crate::time::{SimDuration, SimTime};
+
+/// One scheduled occurrence.
+#[derive(Debug)]
+enum EventKind {
+    FrameArrival {
+        node: NodeId,
+        port: PortId,
+        frame: Frame,
+    },
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+    },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Where a port leads: the directed link it transmits on and the peer that
+/// receives.
+#[derive(Debug, Clone, Copy)]
+struct PortPeer {
+    dir_link: usize,
+    peer: NodeId,
+    peer_port: PortId,
+}
+
+/// A deterministic discrete-event network simulator.
+///
+/// Build a topology with [`Simulation::add_node`] and
+/// [`Simulation::connect`], then drive it with [`Simulation::run_until`] /
+/// [`Simulation::step`]. Two runs with the same seed and topology produce
+/// identical event sequences.
+///
+/// ```
+/// use netsim::{Simulation, Node, Context, PortId, Frame, LinkSpec, SimTime};
+///
+/// struct Echo;
+/// impl Node for Echo {
+///     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut Context<'_>) {
+///         ctx.send(port, frame); // bounce it back
+///     }
+/// }
+///
+/// struct Probe { replies: u32 }
+/// impl Node for Probe {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) {
+///         ctx.send(PortId::FIRST, vec![0u8; 64].into());
+///     }
+///     fn on_frame(&mut self, _p: PortId, _f: Frame, _ctx: &mut Context<'_>) {
+///         self.replies += 1;
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(7);
+/// let a = sim.add_node(Box::new(Probe { replies: 0 }));
+/// let b = sim.add_node(Box::new(Echo));
+/// sim.connect(a, b, LinkSpec::default());
+/// sim.run_until(SimTime::from_millis(1));
+/// assert_eq!(sim.node_ref::<Probe>(a).replies, 1);
+/// ```
+pub struct Simulation {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    nodes: Vec<Box<dyn Node>>,
+    node_down: Vec<bool>,
+    ports: Vec<Vec<PortPeer>>,
+    dir_links: Vec<DirLink>,
+    rng: StdRng,
+    started: bool,
+    scratch: Vec<Action>,
+    events_processed: u64,
+    taps: Vec<Tap>,
+}
+
+/// A wire tap capturing frames transmitted from one node's port.
+#[derive(Debug)]
+struct Tap {
+    node: NodeId,
+    port: PortId,
+    frames: Vec<(SimTime, Frame)>,
+}
+
+/// Handle to a wire tap installed with [`Simulation::tap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapId(usize);
+
+impl PortId {
+    /// The first port allocated on a node (valid once it has been connected).
+    pub const FIRST: PortId = PortId(0);
+}
+
+impl Simulation {
+    /// Creates an empty simulation with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            nodes: Vec::new(),
+            node_down: Vec::new(),
+            ports: Vec::new(),
+            dir_links: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            started: false,
+            scratch: Vec::new(),
+            events_processed: 0,
+            taps: Vec::new(),
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far (for diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Registers a node and returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        self.nodes.push(node);
+        self.node_down.push(false);
+        self.ports.push(Vec::new());
+        id
+    }
+
+    /// Connects `a` and `b` with a full-duplex link, returning the newly
+    /// allocated port on each side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is unknown.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (PortId, PortId) {
+        assert!(a.index() < self.nodes.len(), "unknown node {a}");
+        assert!(b.index() < self.nodes.len(), "unknown node {b}");
+        let pa = PortId(self.ports[a.index()].len() as u32);
+        let pb = PortId(self.ports[b.index()].len() as u32);
+        let ab = self.dir_links.len();
+        self.dir_links.push(DirLink::new(spec));
+        let ba = self.dir_links.len();
+        self.dir_links.push(DirLink::new(spec));
+        self.ports[a.index()].push(PortPeer {
+            dir_link: ab,
+            peer: b,
+            peer_port: pb,
+        });
+        self.ports[b.index()].push(PortPeer {
+            dir_link: ba,
+            peer: a,
+            peer_port: pa,
+        });
+        (pa, pb)
+    }
+
+    /// Marks a node as crashed: all frames addressed to it are dropped and
+    /// its pending/future timers never fire. Models power-off / process kill.
+    pub fn set_node_down(&mut self, node: NodeId, down: bool) {
+        self.node_down[node.index()] = down;
+    }
+
+    /// `true` if the node is currently marked crashed.
+    pub fn is_node_down(&self, node: NodeId) -> bool {
+        self.node_down[node.index()]
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not of type `T`.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        let node: &dyn Node = self.nodes[id.index()].as_ref();
+        (node as &dyn std::any::Any)
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not of type `T`.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        let node: &mut dyn Node = self.nodes[id.index()].as_mut();
+        (node as &mut dyn std::any::Any)
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Runs a closure against a node with a live [`Context`], as if a
+    /// callback fired now. Useful for injecting work mid-simulation.
+    pub fn with_node<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Context<'_>) -> R,
+    ) -> R {
+        let mut actions = std::mem::take(&mut self.scratch);
+        let r = {
+            let node: &mut dyn Node = self.nodes[id.index()].as_mut();
+            let node = (node as &mut dyn std::any::Any)
+                .downcast_mut::<T>()
+                .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()));
+            let mut ctx = Context {
+                now: self.now,
+                node: id,
+                actions: &mut actions,
+                rng: &mut self.rng,
+            };
+            f(node, &mut ctx)
+        };
+        self.scratch = actions;
+        self.apply_actions();
+        r
+    }
+
+    /// Installs a wire tap: every frame `node` transmits on `port` from
+    /// now on is recorded with its transmission instant. Read the capture
+    /// with [`Simulation::tap_frames`].
+    pub fn tap(&mut self, node: NodeId, port: PortId) -> TapId {
+        let id = TapId(self.taps.len());
+        self.taps.push(Tap {
+            node,
+            port,
+            frames: Vec::new(),
+        });
+        id
+    }
+
+    /// The frames captured by a tap so far, as (transmit instant, frame).
+    pub fn tap_frames(&self, tap: TapId) -> &[(SimTime, Frame)] {
+        &self.taps[tap.0].frames
+    }
+
+    /// Transmission statistics of the directed link from `node`'s `port`.
+    pub fn link_stats(&self, node: NodeId, port: PortId) -> LinkStats {
+        let peer = self.ports[node.index()][port.index()];
+        let dl = &self.dir_links[peer.dir_link];
+        LinkStats {
+            wire_bytes: dl.wire_bytes,
+            frames: dl.frames,
+        }
+    }
+
+    /// The node and port at the far end of `node`'s `port`.
+    pub fn peer_of(&self, node: NodeId, port: PortId) -> (NodeId, PortId) {
+        let p = self.ports[node.index()][port.index()];
+        (p.peer, p.peer_port)
+    }
+
+    /// Number of ports currently allocated on `node`.
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.ports[node.index()].len()
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn apply_actions(&mut self) {
+        // Actions must be applied in emission order for determinism.
+        let mut actions = std::mem::take(&mut self.scratch);
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { node, port, frame } => {
+                    for tap in &mut self.taps {
+                        if tap.node == node && tap.port == port {
+                            tap.frames.push((self.now, frame.clone()));
+                        }
+                    }
+                    let Some(peer) = self.ports[node.index()].get(port.index()).copied() else {
+                        panic!(
+                            "node {node} ({}) sent on unconnected port {port}",
+                            self.nodes[node.index()].label()
+                        );
+                    };
+                    let arrival =
+                        self.dir_links[peer.dir_link].transmit(self.now, frame.len());
+                    self.push_event(
+                        arrival,
+                        EventKind::FrameArrival {
+                            node: peer.peer,
+                            port: peer.peer_port,
+                            frame,
+                        },
+                    );
+                }
+                Action::Timer { node, at, token } => {
+                    self.push_event(at, EventKind::Timer { node, token });
+                }
+            }
+        }
+        self.scratch = actions;
+    }
+
+    fn deliver(&mut self, kind: EventKind) {
+        let node_id = match &kind {
+            EventKind::FrameArrival { node, .. } | EventKind::Timer { node, .. } => *node,
+        };
+        if self.node_down[node_id.index()] {
+            return; // crashed nodes receive nothing
+        }
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
+            let node = self.nodes[node_id.index()].as_mut();
+            let mut ctx = Context {
+                now: self.now,
+                node: node_id,
+                actions: &mut actions,
+                rng: &mut self.rng,
+            };
+            match kind {
+                EventKind::FrameArrival { port, frame, .. } => node.on_frame(port, frame, &mut ctx),
+                EventKind::Timer { token, .. } => node.on_timer(token, &mut ctx),
+            }
+        }
+        self.scratch = actions;
+        self.apply_actions();
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            if self.node_down[i] {
+                continue;
+            }
+            let mut actions = std::mem::take(&mut self.scratch);
+            {
+                let node = self.nodes[i].as_mut();
+                let mut ctx = Context {
+                    now: self.now,
+                    node: id,
+                    actions: &mut actions,
+                    rng: &mut self.rng,
+                };
+                node.on_start(&mut ctx);
+            }
+            self.scratch = actions;
+            self.apply_actions();
+        }
+    }
+
+    /// Processes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.events_processed += 1;
+        self.deliver(ev.kind);
+        true
+    }
+
+    /// Runs until the clock reaches `deadline` or the event queue drains.
+    /// The clock is left at `deadline` (or the last event, whichever is
+    /// later-bounded).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_if_needed();
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
+            self.now = ev.at;
+            self.events_processed += 1;
+            self.deliver(ev.kind);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs for `span` of simulated time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue is fully drained.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Bandwidth;
+
+    /// Records arrival times of every frame it receives.
+    struct Sink {
+        arrivals: Vec<(SimTime, usize)>,
+    }
+    impl Node for Sink {
+        fn on_frame(&mut self, _port: PortId, frame: Frame, ctx: &mut Context<'_>) {
+            self.arrivals.push((ctx.now, frame.len()));
+        }
+    }
+
+    /// Sends a burst of frames at start, and one frame per timer tick.
+    struct Burst {
+        count: usize,
+        size: usize,
+    }
+    impl Node for Burst {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.count {
+                ctx.send(PortId::FIRST, vec![0u8; self.size].into());
+            }
+        }
+        fn on_frame(&mut self, _port: PortId, _frame: Frame, _ctx: &mut Context<'_>) {}
+    }
+
+    fn slow_link() -> LinkSpec {
+        LinkSpec {
+            bandwidth: Bandwidth::from_gbps(8.0), // 1 byte/ns
+            propagation: SimDuration::from_nanos(50),
+        }
+    }
+
+    #[test]
+    fn frames_arrive_in_fifo_order_with_backpressure() {
+        let mut sim = Simulation::new(1);
+        let tx = sim.add_node(Box::new(Burst { count: 3, size: 76 }));
+        let rx = sim.add_node(Box::new(Sink { arrivals: vec![] }));
+        sim.connect(tx, rx, slow_link());
+        sim.run_to_completion();
+        let sink = sim.node_ref::<Sink>(rx);
+        // 76 + 24 = 100 wire bytes = 100 ns each, 50 ns propagation.
+        let times: Vec<u64> = sink.arrivals.iter().map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(times, vec![150, 250, 350]);
+    }
+
+    #[test]
+    fn link_stats_count_wire_bytes() {
+        let mut sim = Simulation::new(1);
+        let tx = sim.add_node(Box::new(Burst { count: 2, size: 100 }));
+        let rx = sim.add_node(Box::new(Sink { arrivals: vec![] }));
+        let (ptx, _) = sim.connect(tx, rx, slow_link());
+        sim.run_to_completion();
+        let stats = sim.link_stats(tx, ptx);
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.wire_bytes, 2 * 124);
+    }
+
+    #[test]
+    fn down_node_receives_nothing() {
+        let mut sim = Simulation::new(1);
+        let tx = sim.add_node(Box::new(Burst { count: 5, size: 10 }));
+        let rx = sim.add_node(Box::new(Sink { arrivals: vec![] }));
+        sim.connect(tx, rx, slow_link());
+        sim.set_node_down(rx, true);
+        sim.run_to_completion();
+        assert!(sim.node_ref::<Sink>(rx).arrivals.is_empty());
+        assert!(sim.is_node_down(rx));
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_ties_break_by_insertion() {
+        struct Timers {
+            fired: Vec<u64>,
+        }
+        impl Node for Timers {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.schedule(SimDuration::from_nanos(10), TimerToken(1));
+                ctx.schedule(SimDuration::from_nanos(10), TimerToken(2));
+                ctx.schedule(SimDuration::from_nanos(5), TimerToken(3));
+            }
+            fn on_frame(&mut self, _p: PortId, _f: Frame, _c: &mut Context<'_>) {}
+            fn on_timer(&mut self, token: TimerToken, _ctx: &mut Context<'_>) {
+                self.fired.push(token.0);
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let n = sim.add_node(Box::new(Timers { fired: vec![] }));
+        sim.run_to_completion();
+        assert_eq!(sim.node_ref::<Timers>(n).fired, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = Simulation::new(1);
+        sim.run_until(SimTime::from_millis(7));
+        assert_eq!(sim.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn with_node_injects_sends() {
+        let mut sim = Simulation::new(1);
+        let tx = sim.add_node(Box::new(Burst { count: 0, size: 0 }));
+        let rx = sim.add_node(Box::new(Sink { arrivals: vec![] }));
+        sim.connect(tx, rx, slow_link());
+        sim.run_until(SimTime::from_nanos(100));
+        sim.with_node::<Burst, _>(tx, |_, ctx| {
+            ctx.send(PortId::FIRST, vec![0u8; 6].into());
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.node_ref::<Sink>(rx).arrivals.len(), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run() -> Vec<(u64, usize)> {
+            let mut sim = Simulation::new(42);
+            let tx = sim.add_node(Box::new(Burst { count: 10, size: 33 }));
+            let rx = sim.add_node(Box::new(Sink { arrivals: vec![] }));
+            sim.connect(tx, rx, LinkSpec::default());
+            sim.run_to_completion();
+            sim.node_ref::<Sink>(rx)
+                .arrivals
+                .iter()
+                .map(|(t, l)| (t.as_nanos(), *l))
+                .collect()
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "unconnected port")]
+    fn sending_on_unconnected_port_panics() {
+        let mut sim = Simulation::new(1);
+        let tx = sim.add_node(Box::new(Burst { count: 1, size: 1 }));
+        sim.run_to_completion();
+        let _ = tx;
+    }
+
+    #[test]
+    fn taps_capture_transmissions() {
+        let mut sim = Simulation::new(1);
+        let tx = sim.add_node(Box::new(Burst { count: 3, size: 10 }));
+        let rx = sim.add_node(Box::new(Sink { arrivals: vec![] }));
+        sim.connect(tx, rx, slow_link());
+        let tap = sim.tap(tx, PortId::FIRST);
+        let silent = sim.tap(rx, PortId::FIRST);
+        sim.run_to_completion();
+        let captured = sim.tap_frames(tap);
+        assert_eq!(captured.len(), 3);
+        assert!(captured.iter().all(|(_, f)| f.len() == 10));
+        // All three were transmitted at t=0 (queueing happens on the link).
+        assert!(captured.iter().all(|(t, _)| *t == SimTime::ZERO));
+        assert!(sim.tap_frames(silent).is_empty());
+    }
+
+    #[test]
+    fn peer_of_reports_topology() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node(Box::new(Sink { arrivals: vec![] }));
+        let b = sim.add_node(Box::new(Sink { arrivals: vec![] }));
+        let (pa, pb) = sim.connect(a, b, LinkSpec::default());
+        assert_eq!(sim.peer_of(a, pa), (b, pb));
+        assert_eq!(sim.peer_of(b, pb), (a, pa));
+        assert_eq!(sim.port_count(a), 1);
+    }
+}

@@ -1,0 +1,719 @@
+//! The P4CE switch program: transparent RDMA group communication.
+//!
+//! Data plane (§IV-B, §IV-C):
+//! * **Scatter** — writes arriving on a group's *BCast* queue pair are
+//!   handed to the replication engine; each copy is rewritten in the
+//!   egress (MACs, IPs, UDP port, destination QP, PSN base, virtual
+//!   address, `R_key`) so every replica believes it talks to the switch.
+//! * **Gather** — ACKs arriving on a replica's *Aggr* queue pair bump the
+//!   `NumRecv[psn]` register; the `f`-th positive ACK is rewritten into
+//!   leader terms and forwarded, carrying the *minimum* credit count seen
+//!   across replicas. NAKs are forwarded immediately and unconditionally.
+//!
+//! Control plane (§IV-A): ConnectRequests addressed to the switch are
+//! punted; the control plane fans the handshake out to the replicas,
+//! aggregates their ConnectReplies, programs the match-action tables and
+//! the multicast group, and answers the leader with a *virtual* region
+//! (VA 0, random key) after the reconfiguration delay.
+
+use netsim::{PortId, SimDuration};
+use rdma::cm::{CmMessage, RegionAdvert, RejectReason};
+use rdma::{
+    AethKind, MacAddr, Opcode, Psn, Qpn, RKey, RocePacket, CM_QPN,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+use tofino::{
+    identity_hash, ControlOps, EgressMeta, IngressMeta, IngressVerdict, MatchTable, McastMember,
+    MulticastGroupId, PipelineOps, RegisterArray, SwitchProgram,
+};
+
+use crate::spec::{GroupJoin, GroupSpec};
+
+/// Where non-`f`-th ACKs are discarded — the §IV-D performance ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckDropStage {
+    /// Drop in the ingress of the port the ACK arrived on (the paper's
+    /// final design: 121 Mpps *per replica*).
+    Ingress,
+    /// Let every ACK traverse to the leader's egress and drop there (the
+    /// paper's first attempt: the leader's egress parser caps the total at
+    /// 121 Mpps).
+    Egress,
+}
+
+/// How the switch reports flow-control credits back to the leader — the
+/// §IV-C design choice and its naive alternative (an ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreditMode {
+    /// The paper's design: track the last credit count *per replica* and
+    /// forward the minimum, so the slowest replica is never ignored.
+    Minimum,
+    /// Naive passthrough: forward whatever the `f`-th ACK happened to
+    /// carry. Under a slow replica this overruns its receive queue.
+    Passthrough,
+}
+
+/// Tunables of the P4CE program.
+#[derive(Debug, Clone)]
+pub struct P4ceSwitchConfig {
+    /// Data-plane reconfiguration latency: the 40 ms the paper measures
+    /// for programming tables and the replication engine (§V-E).
+    pub reconfig_delay: SimDuration,
+    /// NumRecv slots per group: how many distinct in-flight PSNs can be
+    /// aggregated (256 in the paper, §IV-C).
+    pub numrecv_window: usize,
+    /// Where non-final ACKs are dropped.
+    pub ack_drop: AckDropStage,
+    /// How credits are aggregated.
+    pub credit_mode: CreditMode,
+}
+
+impl Default for P4ceSwitchConfig {
+    fn default() -> Self {
+        P4ceSwitchConfig {
+            reconfig_delay: SimDuration::from_millis(40),
+            numrecv_window: 256,
+            ack_drop: AckDropStage::Ingress,
+            credit_mode: CreditMode::Minimum,
+        }
+    }
+}
+
+/// Per-replica connection structure (Table III).
+#[derive(Debug, Clone)]
+struct ReplicaConn {
+    ip: Ipv4Addr,
+    port: Option<PortId>,
+    /// The replica's queue pair (destination of scattered packets).
+    qpn: Qpn,
+    /// The switch-side queue pair identity the replica ACKs towards.
+    aggr_qpn: Qpn,
+    /// First PSN the switch uses towards this replica.
+    start_psn_out: Psn,
+    /// The replica's log region.
+    va: u64,
+    rkey: RKey,
+    len: u64,
+    established: bool,
+}
+
+/// Per-group state (Table II).
+#[derive(Debug)]
+struct Group {
+    mcast: MulticastGroupId,
+    f: u32,
+    leader_ip: Ipv4Addr,
+    leader_port: Option<PortId>,
+    /// The leader's queue pair (destination of gathered ACKs).
+    leader_qpn: Qpn,
+    /// First PSN the leader uses towards the switch.
+    leader_start_psn: Psn,
+    /// The BCast queue pair the leader sends on.
+    bcast_qpn: Qpn,
+    virt_rkey: RKey,
+    replicas: Vec<ReplicaConn>,
+    /// NumRecv: ACKs seen per in-flight PSN slot.
+    num_recv: RegisterArray,
+    /// Last credit count per replica (one slot per endpoint).
+    credits: RegisterArray,
+    /// Data plane active (tables programmed and reconfiguration done).
+    active: bool,
+    /// The leader's original handshake, answered after reconfiguration.
+    leader_handshake: u64,
+    pending_replies: u32,
+}
+
+/// Counters for experiments and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct P4ceSwitchStats {
+    /// Write packets scattered (pre-replication count).
+    pub scattered: u64,
+    /// ACKs absorbed by aggregation.
+    pub acks_absorbed: u64,
+    /// ACKs forwarded to leaders (the `f`-th ones).
+    pub acks_forwarded: u64,
+    /// NAKs forwarded to leaders.
+    pub naks_forwarded: u64,
+    /// Communication groups created.
+    pub groups_created: u64,
+    /// Reconfigurations completed.
+    pub reconfigs: u64,
+}
+
+// Control-plane timer tokens.
+const CTRL_RECONFIG: u64 = 1 << 40;
+
+/// The "P4 Consensus Engine" program.
+pub struct P4ceProgram {
+    cfg: P4ceSwitchConfig,
+    groups: BTreeMap<u16, Group>,
+    /// BCast QPN → group id (data-plane match table for scatter).
+    bcast_table: MatchTable<u32, u16>,
+    /// Aggr QPN → (group id, endpoint id) (data-plane match table for
+    /// gather).
+    aggr_table: MatchTable<u32, (u16, u8)>,
+    /// Switch-initiated handshake id → (group id, endpoint id).
+    fanout_handshakes: HashMap<u64, (u16, u8)>,
+    next_gid: u16,
+    next_qpn: u32,
+    key_state: u64,
+    /// Counters.
+    pub stats: P4ceSwitchStats,
+}
+
+impl P4ceProgram {
+    /// Builds the program with `cfg`.
+    pub fn new(cfg: P4ceSwitchConfig) -> Self {
+        assert!(
+            cfg.numrecv_window.is_power_of_two(),
+            "NumRecv window must be a power of two (hardware index masking)"
+        );
+        P4ceProgram {
+            cfg,
+            groups: BTreeMap::new(),
+            // Hardware table budgets: 1 Ki communication groups and 4 Ki
+            // replica endpoints — generous for the protocol (endpoint
+            // ids are 8-bit) yet finite, as on the ASIC.
+            bcast_table: MatchTable::new("bcast_qp", 1024),
+            aggr_table: MatchTable::new("aggr_qp", 4096),
+            fanout_handshakes: HashMap::new(),
+            next_gid: 1,
+            next_qpn: 0x100,
+            key_state: 0xb5ad_4ece_da1c_e2a9,
+            stats: P4ceSwitchStats::default(),
+        }
+    }
+
+    fn next_virt_rkey(&mut self) -> RKey {
+        self.key_state = self
+            .key_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        RKey(((self.key_state >> 32) as u32) | 1)
+    }
+
+    fn alloc_qpn(&mut self) -> Qpn {
+        let q = Qpn(self.next_qpn);
+        self.next_qpn += 1;
+        q
+    }
+
+    /// Number of groups whose data plane is active.
+    pub fn active_groups(&self) -> usize {
+        self.groups.values().filter(|g| g.active).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane
+    // ------------------------------------------------------------------
+
+    fn handle_leader_request(
+        &mut self,
+        pkt: &RocePacket,
+        handshake_id: u64,
+        leader_qpn: Qpn,
+        leader_psn: Psn,
+        private_data: &[u8],
+        ops: &mut dyn ControlOps,
+    ) {
+        let Ok(spec) = GroupSpec::decode(private_data) else {
+            Self::send_cm(
+                ops,
+                pkt.src_ip,
+                &CmMessage::ConnectReject {
+                    handshake_id,
+                    reason: RejectReason::NotListening,
+                },
+            );
+            return;
+        };
+        let gid = self.next_gid;
+        self.next_gid += 1;
+        let bcast_qpn = self.alloc_qpn();
+        let virt_rkey = self.next_virt_rkey();
+        let n = spec.replicas.len();
+        let mut replicas = Vec::with_capacity(n);
+        for (idx, &ip) in spec.replicas.iter().enumerate() {
+            let aggr_qpn = self.alloc_qpn();
+            self.key_state = self
+                .key_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let start_psn_out = Psn::new((self.key_state >> 40) as u32);
+            replicas.push(ReplicaConn {
+                ip,
+                port: ops.route(ip),
+                qpn: Qpn(0), // learned from the replica's ConnectReply
+                aggr_qpn,
+                start_psn_out,
+                va: 0,
+                rkey: RKey(0),
+                len: 0,
+                established: false,
+            });
+            let fanout_id = (u64::from(gid) << 16) | (idx as u64) | (1 << 56);
+            self.fanout_handshakes.insert(fanout_id, (gid, idx as u8));
+            let join = GroupJoin { leader: pkt.src_ip };
+            Self::send_cm(
+                ops,
+                ip,
+                &CmMessage::ConnectRequest {
+                    handshake_id: fanout_id,
+                    qpn: aggr_qpn,
+                    start_psn: start_psn_out,
+                    private_data: join.encode(),
+                },
+            );
+        }
+        let window = self.cfg.numrecv_window;
+        self.groups.insert(
+            gid,
+            Group {
+                mcast: MulticastGroupId(gid),
+                f: u32::from(spec.f),
+                leader_ip: pkt.src_ip,
+                leader_port: ops.route(pkt.src_ip),
+                leader_qpn,
+                leader_start_psn: leader_psn,
+                bcast_qpn,
+                virt_rkey,
+                replicas,
+                num_recv: RegisterArray::new(format!("numrecv.g{gid}"), window),
+                credits: RegisterArray::new(format!("credits.g{gid}"), n),
+                active: false,
+                leader_handshake: handshake_id,
+                pending_replies: n as u32,
+            },
+        );
+        self.stats.groups_created += 1;
+    }
+
+    fn handle_replica_reply(
+        &mut self,
+        pkt: &RocePacket,
+        handshake_id: u64,
+        replica_qpn: Qpn,
+        _replica_psn: Psn,
+        private_data: &[u8],
+        ops: &mut dyn ControlOps,
+    ) {
+        let Some((gid, idx)) = self.fanout_handshakes.remove(&handshake_id) else {
+            return;
+        };
+        let Some(group) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        let Ok(advert) = RegionAdvert::decode(private_data) else {
+            return;
+        };
+        {
+            let r = &mut group.replicas[idx as usize];
+            r.qpn = replica_qpn;
+            r.va = advert.va;
+            r.rkey = advert.rkey;
+            r.len = advert.len;
+            r.established = true;
+            if r.port.is_none() {
+                r.port = ops.route(r.ip);
+            }
+        }
+        // Initialize the replica's credit register to "fully available".
+        group.credits.write(idx as usize, 31);
+        // Finish the handshake towards the replica.
+        let rtu = CmMessage::ReadyToUse { handshake_id };
+        let dst = pkt.src_ip;
+        Self::send_cm(ops, dst, &rtu);
+
+        group.pending_replies -= 1;
+        if group.pending_replies == 0 {
+            // All fan-out connections are up: program the data plane, then
+            // let the reconfiguration settle before answering the leader.
+            let members: Vec<McastMember> = group
+                .replicas
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| {
+                    r.port.map(|p| McastMember {
+                        port: p,
+                        rid: i as u16,
+                    })
+                })
+                .collect();
+            ops.set_mcast_group(group.mcast, members);
+            let mut table_full = self
+                .bcast_table
+                .insert(group.bcast_qpn.masked(), gid)
+                .is_err();
+            for (i, r) in group.replicas.iter().enumerate() {
+                table_full |= self
+                    .aggr_table
+                    .insert(r.aggr_qpn.masked(), (gid, i as u8))
+                    .is_err();
+            }
+            if table_full {
+                // The ASIC is out of table space: degrade gracefully by
+                // refusing the group (the leader falls back to direct
+                // replication).
+                let leader_ip = group.leader_ip;
+                let leader_handshake = group.leader_handshake;
+                let bcast = group.bcast_qpn.masked();
+                let aggr: Vec<u32> = group.replicas.iter().map(|r| r.aggr_qpn.masked()).collect();
+                ops.remove_mcast_group(group.mcast);
+                self.groups.remove(&gid);
+                self.bcast_table.remove(&bcast);
+                for qpn in aggr {
+                    self.aggr_table.remove(&qpn);
+                }
+                Self::send_cm(
+                    ops,
+                    leader_ip,
+                    &CmMessage::ConnectReject {
+                        handshake_id: leader_handshake,
+                        reason: RejectReason::NoResources,
+                    },
+                );
+                return;
+            }
+            ops.set_timer(self.cfg.reconfig_delay, CTRL_RECONFIG | u64::from(gid));
+        }
+    }
+
+    fn handle_replica_reject(&mut self, handshake_id: u64, ops: &mut dyn ControlOps) {
+        let Some((gid, _idx)) = self.fanout_handshakes.remove(&handshake_id) else {
+            return;
+        };
+        // One replica refused: the whole group fails; the leader falls
+        // back to direct replication (§III-A, "Faulty replica").
+        if let Some(group) = self.groups.remove(&gid) {
+            self.bcast_table.remove(&group.bcast_qpn.masked());
+            for r in &group.replicas {
+                self.aggr_table.remove(&r.aggr_qpn.masked());
+            }
+            Self::send_cm(
+                ops,
+                group.leader_ip,
+                &CmMessage::ConnectReject {
+                    handshake_id: group.leader_handshake,
+                    reason: RejectReason::NotAuthorized,
+                },
+            );
+        }
+    }
+
+    fn finish_reconfig(&mut self, gid: u16, ops: &mut dyn ControlOps) {
+        let Some(group) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        group.active = true;
+        self.stats.reconfigs += 1;
+        let min_len = group
+            .replicas
+            .iter()
+            .map(|r| r.len)
+            .min()
+            .unwrap_or(0);
+        let advert = RegionAdvert {
+            va: 0, // virtual: rebased per replica during scatter (§IV-A)
+            rkey: group.virt_rkey,
+            len: min_len,
+        };
+        let reply = CmMessage::ConnectReply {
+            handshake_id: group.leader_handshake,
+            qpn: group.bcast_qpn,
+            start_psn: Psn::new(0),
+            private_data: advert.encode(),
+        };
+        let dst = group.leader_ip;
+        Self::send_cm(ops, dst, &reply);
+    }
+
+    fn send_cm(ops: &mut dyn ControlOps, to_ip: Ipv4Addr, msg: &CmMessage) {
+        let sw_ip = ops.switch_ip();
+        ops.send_packet(RocePacket {
+            src_mac: MacAddr::for_ip(sw_ip),
+            dst_mac: MacAddr::for_ip(to_ip),
+            src_ip: sw_ip,
+            dst_ip: to_ip,
+            udp_src_port: 0xC0FE,
+            bth: rdma::Bth {
+                opcode: Opcode::SendOnly,
+                dest_qp: CM_QPN,
+                psn: Psn::new(0),
+                ack_req: false,
+            },
+            reth: None,
+            aeth: None,
+            payload: msg.encode(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane: gather
+    // ------------------------------------------------------------------
+
+    /// The hardware minimum: compare via subtraction underflow routed
+    /// through the identity hash (§IV-D).
+    fn hw_min(a: u32, b: u32) -> u32 {
+        let (_, underflow) = a.overflowing_sub(b);
+        if identity_hash(u32::from(underflow)) != 0 {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Folds the per-replica credit registers to the group minimum.
+    fn min_credits(group: &Group) -> u32 {
+        let mut min = 31;
+        for i in 0..group.replicas.len() {
+            min = Self::hw_min(min, group.credits.read(i));
+        }
+        min
+    }
+
+    /// Rewrites an ACK/NAK from replica space into leader space.
+    fn rewrite_ack_for_leader(pkt: &mut RocePacket, group: &Group, endpoint: u8, sw_ip: Ipv4Addr) {
+        let replica = &group.replicas[endpoint as usize];
+        let dist = replica.start_psn_out.distance_to(pkt.bth.psn);
+        pkt.bth.psn = group.leader_start_psn.advance(dist);
+        pkt.bth.dest_qp = group.leader_qpn;
+        pkt.src_ip = sw_ip;
+        pkt.src_mac = MacAddr::for_ip(sw_ip);
+        pkt.dst_ip = group.leader_ip;
+        pkt.dst_mac = MacAddr::for_ip(group.leader_ip);
+    }
+
+    /// The gather decision for one ACK. Returns `true` if this packet must
+    /// be forwarded to the leader (rewritten in place).
+    fn gather(&mut self, pkt: &mut RocePacket, gid: u16, endpoint: u8, sw_ip: Ipv4Addr) -> bool {
+        let Some(group) = self.groups.get_mut(&gid) else {
+            return false;
+        };
+        if !group.active {
+            return false;
+        }
+        let aeth = pkt.aeth.expect("gather input carries AETH");
+        match aeth.kind {
+            AethKind::Nak(_) => {
+                // NAKs pass through immediately (§III-A).
+                Self::rewrite_ack_for_leader(pkt, group, endpoint, sw_ip);
+                self.stats.naks_forwarded += 1;
+                true
+            }
+            AethKind::Ack { credits } => {
+                // Track this replica's most recent credit count — stored
+                // per group and per replica, *not* per PSN, so the slowest
+                // replica is never ignored (§IV-C).
+                group.credits.write(endpoint as usize, u32::from(credits));
+                let replica = &group.replicas[endpoint as usize];
+                let dist = replica.start_psn_out.distance_to(pkt.bth.psn);
+                let idx = dist as usize; // RegisterArray wraps the index
+                let n = group.num_recv.increment(idx);
+                if n == group.f {
+                    let reported = match self.cfg.credit_mode {
+                        CreditMode::Minimum => Self::min_credits(group).min(31) as u8,
+                        CreditMode::Passthrough => credits,
+                    };
+                    Self::rewrite_ack_for_leader(pkt, group, endpoint, sw_ip);
+                    pkt.aeth = Some(rdma::Aeth {
+                        kind: AethKind::Ack { credits: reported },
+                        msn: aeth.msn,
+                    });
+                    self.stats.acks_forwarded += 1;
+                    true
+                } else {
+                    self.stats.acks_absorbed += 1;
+                    false
+                }
+            }
+        }
+    }
+}
+
+impl SwitchProgram for P4ceProgram {
+    fn ingress(
+        &mut self,
+        pkt: &mut RocePacket,
+        _meta: IngressMeta,
+        ops: &dyn PipelineOps,
+    ) -> IngressVerdict {
+        let sw_ip = ops.switch_ip();
+        if pkt.dst_ip != sw_ip {
+            // Transit traffic (heartbeats, direct fallback connections):
+            // plain L3 forwarding.
+            return match ops.route(pkt.dst_ip) {
+                Some(port) => IngressVerdict::Unicast(port),
+                None => IngressVerdict::Drop,
+            };
+        }
+        if pkt.bth.dest_qp == CM_QPN {
+            // New connections are rare: slow path (§IV-A).
+            return IngressVerdict::ToCpu;
+        }
+        if pkt.bth.opcode.is_write() {
+            // Scatter: match the BCast queue pair.
+            let Some(&gid) = self.bcast_table.lookup(&pkt.bth.dest_qp.masked()) else {
+                return IngressVerdict::Drop;
+            };
+            let Some(group) = self.groups.get_mut(&gid) else {
+                return IngressVerdict::Drop;
+            };
+            if !group.active {
+                return IngressVerdict::Drop;
+            }
+            // Reset NumRecv for this PSN before the copies fly (§IV-B).
+            let dist = group.leader_start_psn.distance_to(pkt.bth.psn);
+            group.num_recv.write(dist as usize, 0);
+            self.stats.scattered += 1;
+            return IngressVerdict::Multicast(group.mcast);
+        }
+        if pkt.bth.opcode == Opcode::Acknowledge {
+            let Some(&(gid, endpoint)) = self.aggr_table.lookup(&pkt.bth.dest_qp.masked()) else {
+                return IngressVerdict::Drop;
+            };
+            match self.cfg.ack_drop {
+                AckDropStage::Ingress => {
+                    // Final design: count (and usually drop) right here,
+                    // in the ingress of the replica-facing port.
+                    if self.gather(pkt, gid, endpoint, sw_ip) {
+                        let Some(group) = self.groups.get(&gid) else {
+                            return IngressVerdict::Drop;
+                        };
+                        match group.leader_port {
+                            Some(p) => IngressVerdict::Unicast(p),
+                            None => IngressVerdict::Drop,
+                        }
+                    } else {
+                        IngressVerdict::Drop
+                    }
+                }
+                AckDropStage::Egress => {
+                    // First-attempt layout: every ACK rides to the
+                    // leader's egress; the counting registers span the
+                    // pipeline, so the decision happens there.
+                    let Some(group) = self.groups.get(&gid) else {
+                        return IngressVerdict::Drop;
+                    };
+                    match group.leader_port {
+                        Some(p) => IngressVerdict::Unicast(p),
+                        None => IngressVerdict::Drop,
+                    }
+                }
+            }
+        } else {
+            IngressVerdict::Drop
+        }
+    }
+
+    fn egress(&mut self, pkt: &mut RocePacket, meta: EgressMeta, ops: &dyn PipelineOps) -> bool {
+        let sw_ip = ops.switch_ip();
+        // Scattered write copies: rewrite per destination endpoint.
+        if pkt.bth.opcode.is_write() && pkt.dst_ip == sw_ip {
+            let Some(&gid) = self.bcast_table.lookup(&pkt.bth.dest_qp.masked()) else {
+                return false;
+            };
+            let Some(group) = self.groups.get(&gid) else {
+                return false;
+            };
+            let Some(replica) = group.replicas.get(meta.rid as usize) else {
+                return false;
+            };
+            if !replica.established {
+                return false;
+            }
+            // Addressing: the replica must see the switch as its peer.
+            pkt.src_ip = sw_ip;
+            pkt.src_mac = MacAddr::for_ip(sw_ip);
+            pkt.dst_ip = replica.ip;
+            pkt.dst_mac = MacAddr::for_ip(replica.ip);
+            pkt.udp_src_port = 0xD000 | (meta.rid & 0x0fff);
+            // Transport: destination QP and PSN base are per replica.
+            pkt.bth.dest_qp = replica.qpn;
+            let dist = group.leader_start_psn.distance_to(pkt.bth.psn);
+            pkt.bth.psn = replica.start_psn_out.advance(dist);
+            // RDMA: rebase the virtual address and swap in the replica's
+            // real key (the leader wrote against VA 0 + offset).
+            if let Some(reth) = &mut pkt.reth {
+                reth.va += replica.va;
+                reth.rkey = replica.rkey;
+            }
+            return true;
+        }
+        // Ablation mode: ACKs dropped (or forwarded) at the leader's
+        // egress.
+        if pkt.bth.opcode == Opcode::Acknowledge && pkt.dst_ip == sw_ip {
+            if let Some(&(gid, endpoint)) = self.aggr_table.lookup(&pkt.bth.dest_qp.masked()) {
+                return self.gather(pkt, gid, endpoint, sw_ip);
+            }
+            return false;
+        }
+        true
+    }
+
+    fn on_cpu_packet(&mut self, pkt: RocePacket, ops: &mut dyn ControlOps) {
+        let Ok(msg) = CmMessage::decode(&pkt.payload) else {
+            return;
+        };
+        match msg {
+            CmMessage::ConnectRequest {
+                handshake_id,
+                qpn,
+                start_psn,
+                private_data,
+            } => self.handle_leader_request(&pkt, handshake_id, qpn, start_psn, &private_data, ops),
+            CmMessage::ConnectReply {
+                handshake_id,
+                qpn,
+                start_psn,
+                private_data,
+            } => self.handle_replica_reply(&pkt, handshake_id, qpn, start_psn, &private_data, ops),
+            CmMessage::ConnectReject { handshake_id, .. } => {
+                self.handle_replica_reject(handshake_id, ops)
+            }
+            CmMessage::ReadyToUse { .. } => {
+                // The leader's final handshake step; the data plane is
+                // already active by the time the reply was sent.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ops: &mut dyn ControlOps) {
+        if token & CTRL_RECONFIG != 0 {
+            let gid = (token & 0xffff) as u16;
+            self.finish_reconfig(gid, ops);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hw_min_matches_min() {
+        for (a, b) in [(0, 0), (1, 2), (2, 1), (31, 0), (0, 31), (7, 7)] {
+            assert_eq!(P4ceProgram::hw_min(a, b), a.min(b), "min({a},{b})");
+        }
+    }
+
+    #[test]
+    fn config_requires_power_of_two_window() {
+        let cfg = P4ceSwitchConfig {
+            numrecv_window: 256,
+            ..P4ceSwitchConfig::default()
+        };
+        let p = P4ceProgram::new(cfg);
+        assert_eq!(p.active_groups(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_window_panics() {
+        let cfg = P4ceSwitchConfig {
+            numrecv_window: 100,
+            ..P4ceSwitchConfig::default()
+        };
+        let _ = P4ceProgram::new(cfg);
+    }
+}

@@ -1,0 +1,41 @@
+//! Property-based tests of the control-plane encodings.
+
+use p4ce_switch::{GroupJoin, GroupSpec};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn group_spec_roundtrip(
+        raw_ips in prop::collection::vec(any::<u32>(), 1..22),
+        f_seed in any::<u8>(),
+    ) {
+        let replicas: Vec<Ipv4Addr> = raw_ips.iter().map(|&v| Ipv4Addr::from(v)).collect();
+        let f = 1 + (f_seed as usize % replicas.len());
+        let spec = GroupSpec {
+            f: f as u8,
+            replicas,
+        };
+        let enc = spec.encode();
+        prop_assert!(enc.len() <= rdma::cm::MAX_REQ_PRIVATE_DATA);
+        prop_assert_eq!(GroupSpec::decode(&enc).expect("round trip"), spec);
+    }
+
+    #[test]
+    fn group_spec_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = GroupSpec::decode(&bytes);
+    }
+
+    #[test]
+    fn group_join_roundtrip(ip in any::<u32>()) {
+        let join = GroupJoin { leader: Ipv4Addr::from(ip) };
+        prop_assert_eq!(GroupJoin::decode(&join.encode()).expect("round trip"), join);
+    }
+
+    #[test]
+    fn group_join_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..16)) {
+        let _ = GroupJoin::decode(&bytes);
+    }
+}

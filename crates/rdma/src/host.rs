@@ -1,0 +1,1378 @@
+//! An RDMA-capable server: CPU + RNIC + registered memory, as one
+//! [`netsim::Node`].
+//!
+//! The split of work mirrors real hardware, because that split *is* the
+//! paper's result:
+//!
+//! * the **CPU** (one [`netsim::Cpu`]) runs the application ([`RdmaApp`])
+//!   and is charged for every verb interaction — posting a work request,
+//!   reaping a completion, handling a CM datagram;
+//! * the **NIC** executes autonomously: it segments messages, clocks
+//!   packets onto the link, and — crucially — executes *incoming* one-sided
+//!   operations and generates ACKs without touching the CPU (§II-A). This
+//!   is why Mu's replicas are idle on the data path and why the leader's
+//!   CPU is the small-value bottleneck the paper measures.
+
+use bytes::Bytes;
+use netsim::{Context, Cpu, Frame, Node, PortId, SimDuration, SimTime, TimerToken};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use crate::cm::{CmMessage, RejectReason};
+use crate::memory::{HostMemory, RegionHandle, RegionInfo};
+use crate::opcode::Opcode;
+use crate::qp::{PacketPlan, PeerInfo, QpState, QueuePair, RecoveryAction, RecvVerdict, WriteCursor};
+use crate::types::{MacAddr, Permissions, Psn, Qpn, CM_QPN, DEFAULT_RDMA_MTU};
+use crate::verbs::{Completion, CompletionStatus, WorkRequest, WrId};
+use crate::wire::{Aeth, AethKind, Bth, NakCode, RocePacket};
+
+/// Tunable parameters of a host. Defaults are the calibration constants
+/// derived from the paper (DESIGN.md §2).
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// This host's IPv4 address (MAC is derived from it).
+    pub ip: Ipv4Addr,
+    /// RDMA path MTU: payload bytes per packet of a multi-packet message.
+    pub mtu: usize,
+    /// Local cap on unacknowledged messages per queue pair (16 in the
+    /// paper's testbed, §IV-C).
+    pub max_inflight: usize,
+    /// CPU cost of posting one work request (≈210 ns reproduces the
+    /// paper's §V-C rates).
+    pub post_cost: SimDuration,
+    /// CPU cost of reaping one completion.
+    pub reap_cost: SimDuration,
+    /// CPU cost of handling one connection-management datagram (slow
+    /// path).
+    pub cm_cost: SimDuration,
+    /// NIC transmit engine occupancy per packet.
+    pub nic_tx_cost: SimDuration,
+    /// NIC receive engine occupancy per packet. Raise it to model a slow
+    /// replica whose credit count should drag the group minimum down.
+    pub nic_rx_cost: SimDuration,
+    /// Receive buffer capacity in requests; the advertised credit count is
+    /// `rx_capacity - occupancy` (§II-A, "Congestion").
+    pub rx_capacity: usize,
+    /// Transport retransmission timeout (131 µs in the paper's setup:
+    /// `4.096 × 2⁵ µs`, §V-E).
+    pub retransmit_timeout: SimDuration,
+    /// Retransmissions before the QP gives up and flushes.
+    pub retry_limit: u32,
+    /// Seed for key/PSN generation (distinct per host).
+    pub seed: u64,
+}
+
+impl HostConfig {
+    /// A host with the calibration defaults at address `ip`.
+    pub fn new(ip: Ipv4Addr) -> Self {
+        let o = ip.octets();
+        HostConfig {
+            ip,
+            mtu: DEFAULT_RDMA_MTU,
+            max_inflight: 16,
+            post_cost: SimDuration::from_nanos(210),
+            reap_cost: SimDuration::from_nanos(210),
+            cm_cost: SimDuration::from_micros(25),
+            nic_tx_cost: SimDuration::from_nanos(5),
+            nic_rx_cost: SimDuration::from_nanos(8),
+            rx_capacity: 16,
+            retransmit_timeout: SimDuration::from_micros(131),
+            retry_limit: 7,
+            seed: u64::from(u32::from_be_bytes(o)),
+        }
+    }
+}
+
+/// Connection-management events delivered to the application.
+#[derive(Debug, Clone)]
+pub enum CmEvent {
+    /// A peer asked to connect; answer with [`HostOps::accept`] or
+    /// [`HostOps::reject`].
+    ConnectRequestReceived {
+        /// Handshake correlation id (pass to accept/reject).
+        handshake_id: u64,
+        /// The requesting peer.
+        from_ip: Ipv4Addr,
+        /// The requester's queue pair.
+        from_qpn: Qpn,
+        /// The requester's initial PSN.
+        start_psn: Psn,
+        /// Piggybacked application data.
+        private_data: Bytes,
+    },
+    /// (Initiator) the connection is established and ready to send on.
+    Connected {
+        /// Handshake correlation id.
+        handshake_id: u64,
+        /// The local queue pair now in RTS.
+        qpn: Qpn,
+        /// The peer's address.
+        peer_ip: Ipv4Addr,
+        /// Private data from the ConnectReply (e.g. a region advert).
+        private_data: Bytes,
+    },
+    /// (Responder) the initiator sent ReadyToUse; the connection is live.
+    Established {
+        /// Handshake correlation id.
+        handshake_id: u64,
+        /// The local queue pair now in RTS.
+        qpn: Qpn,
+        /// The peer's address.
+        peer_ip: Ipv4Addr,
+    },
+    /// (Initiator) the responder refused.
+    Rejected {
+        /// Handshake correlation id.
+        handshake_id: u64,
+        /// Why.
+        reason: RejectReason,
+    },
+}
+
+/// The application half of a host: protocol logic driven by completions,
+/// CM events and timers. Mu's and P4CE's replicas and leaders implement
+/// this.
+pub trait RdmaApp: 'static {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ops: &mut HostOps<'_, '_>) {
+        let _ = ops;
+    }
+
+    /// A work request finished (successfully or not).
+    fn on_completion(&mut self, completion: Completion, ops: &mut HostOps<'_, '_>);
+
+    /// A connection-management event arrived.
+    fn on_cm_event(&mut self, event: CmEvent, ops: &mut HostOps<'_, '_>) {
+        let _ = (event, ops);
+    }
+
+    /// A remote peer wrote into a watched region (see
+    /// [`HostOps::watch_region`]). Offsets are region-relative.
+    fn on_remote_write(
+        &mut self,
+        region: RegionHandle,
+        offset: u64,
+        len: usize,
+        ops: &mut HostOps<'_, '_>,
+    ) {
+        let _ = (region, offset, len, ops);
+    }
+
+    /// An application timer armed with [`HostOps::set_app_timer`] fired.
+    fn on_timer(&mut self, token: u64, ops: &mut HostOps<'_, '_>) {
+        let _ = (token, ops);
+    }
+
+    /// A negative acknowledgement arrived on `qpn` (delivered *before*
+    /// the transport's own recovery runs). P4CE's leader uses this to
+    /// revert to un-accelerated communication (§III-A).
+    fn on_nak(&mut self, qpn: Qpn, code: NakCode, ops: &mut HostOps<'_, '_>) {
+        let _ = (qpn, code, ops);
+    }
+}
+
+// Timer token classes (top byte of the token).
+const TK_NIC_TX: u64 = 1 << 56;
+const TK_DELIVER: u64 = 2 << 56;
+const TK_RETRANSMIT: u64 = 3 << 56;
+const TK_APP: u64 = 4 << 56;
+const TK_POST: u64 = 5 << 56;
+const TK_RX: u64 = 6 << 56;
+const TK_CLASS_MASK: u64 = 0xff << 56;
+const TK_DATA_MASK: u64 = !TK_CLASS_MASK;
+
+#[derive(Debug)]
+enum Delivery {
+    Completion(Completion),
+    Cm(CmEvent),
+    RemoteWrite {
+        region: RegionHandle,
+        offset: u64,
+        len: usize,
+    },
+    Nak {
+        qpn: Qpn,
+        code: NakCode,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+/// Counters exposed for tests and experiment reporting.
+pub struct HostStats {
+    /// Request packets transmitted (writes, reads, CM).
+    pub packets_sent: u64,
+    /// Packets received and parsed.
+    pub packets_received: u64,
+    /// Frames that failed to parse and were dropped.
+    pub parse_drops: u64,
+    /// ACKs generated by the NIC.
+    pub acks_sent: u64,
+    /// NAKs generated by the NIC.
+    pub naks_sent: u64,
+    /// Retransmitted packets.
+    pub retransmits: u64,
+    /// Request packets dropped because the receive buffer was full (the
+    /// damage ignoring credit counts causes).
+    pub rx_overflow_drops: u64,
+}
+
+/// The non-application state of a host (NIC, CPU, memory, queue pairs).
+pub struct HostCore {
+    cfg: HostConfig,
+    mac: MacAddr,
+    cpu: Cpu,
+    mem: HostMemory,
+    qps: BTreeMap<u32, QueuePair>,
+    next_qpn: u32,
+    psn_state: u64,
+    // --- transmit path ---
+    tx_fifo: VecDeque<(PortId, Frame)>,
+    tx_staged: Option<(PortId, Frame)>,
+    tx_last_served: u32,
+    /// The port new connections ride on (multi-homed hosts flip this to a
+    /// backup path when the primary fabric dies, §V-E "Crashed switch").
+    active_port: PortId,
+    /// Per-queue-pair egress port: a connection is bound to the path it
+    /// was established (or last reached) over.
+    qp_ports: HashMap<u32, PortId>,
+    // --- receive path ---
+    rx_queue: VecDeque<(PortId, Frame, bool)>,
+    rx_busy: bool,
+    /// Request packets (writes/reads/sends) currently buffered: the
+    /// resource the credit count advertises. ACKs and read responses do
+    /// not consume it.
+    rx_request_backlog: usize,
+    // --- handshakes (value includes the port the exchange rides on) ---
+    next_handshake: u64,
+    initiated: HashMap<u64, Qpn>,
+    responding: HashMap<u64, Qpn>,
+    /// Arrival port of pending incoming ConnectRequests.
+    request_ports: HashMap<u64, PortId>,
+    // --- deliveries to the app ---
+    deliveries: HashMap<u64, Delivery>,
+    next_delivery: u64,
+    // --- read landing zones ---
+    read_landing: HashMap<(u32, u64), (RegionHandle, usize)>,
+    // --- watched regions (remote-write notification), rkey -> region ---
+    watch_keys: HashMap<u32, RegionHandle>,
+    // --- retransmission ---
+    rt_tick_armed: bool,
+    /// Counters.
+    pub stats: HostStats,
+}
+
+impl HostCore {
+    fn new(cfg: HostConfig) -> Self {
+        let mac = MacAddr::for_ip(cfg.ip);
+        let mem = HostMemory::new(cfg.seed);
+        HostCore {
+            mac,
+            cpu: Cpu::new(),
+            mem,
+            qps: BTreeMap::new(),
+            next_qpn: 0x10,
+            psn_state: cfg.seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1,
+            tx_fifo: VecDeque::new(),
+            tx_staged: None,
+            tx_last_served: 0,
+            active_port: PortId::FIRST,
+            qp_ports: HashMap::new(),
+            rx_queue: VecDeque::new(),
+            rx_busy: false,
+            rx_request_backlog: 0,
+            next_handshake: 1,
+            initiated: HashMap::new(),
+            responding: HashMap::new(),
+            request_ports: HashMap::new(),
+            deliveries: HashMap::new(),
+            next_delivery: 0,
+            read_landing: HashMap::new(),
+            watch_keys: HashMap::new(),
+            rt_tick_armed: false,
+            stats: HostStats::default(),
+            cfg,
+        }
+    }
+
+    fn next_start_psn(&mut self) -> Psn {
+        self.psn_state = self
+            .psn_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        Psn::new((self.psn_state >> 40) as u32)
+    }
+
+    fn alloc_qpn(&mut self) -> Qpn {
+        let q = Qpn(self.next_qpn);
+        self.next_qpn += 1;
+        q
+    }
+
+    /// The advertised credit count: free request-buffer slots, clamped to
+    /// the 5-bit AETH field.
+    fn credits(&self) -> u8 {
+        self.cfg
+            .rx_capacity
+            .saturating_sub(self.rx_request_backlog)
+            .min(31) as u8
+    }
+
+    fn qp_port(&self, qpn: Qpn) -> PortId {
+        self.qp_ports
+            .get(&qpn.masked())
+            .copied()
+            .unwrap_or(self.active_port)
+    }
+
+    fn build_frame(&self, qpn: Qpn, plan: &PacketPlan) -> Frame {
+        let qp = &self.qps[&qpn.masked()];
+        let peer = qp.peer().expect("building frame on unconnected QP");
+        RocePacket {
+            src_mac: self.mac,
+            dst_mac: MacAddr::for_ip(peer.ip),
+            src_ip: self.cfg.ip,
+            dst_ip: peer.ip,
+            udp_src_port: 0xC000 | (qpn.masked() as u16 & 0x0fff),
+            bth: Bth {
+                opcode: plan.opcode,
+                dest_qp: peer.qpn,
+                psn: plan.psn,
+                ack_req: plan.ack_req,
+            },
+            reth: plan.reth,
+            aeth: None,
+            payload: plan.payload.clone(),
+        }
+        .to_frame()
+    }
+
+    fn build_cm_frame(&self, to_ip: Ipv4Addr, msg: &CmMessage) -> Frame {
+        RocePacket {
+            src_mac: self.mac,
+            dst_mac: MacAddr::for_ip(to_ip),
+            src_ip: self.cfg.ip,
+            dst_ip: to_ip,
+            udp_src_port: 0xC000,
+            bth: Bth {
+                opcode: Opcode::SendOnly,
+                dest_qp: CM_QPN,
+                psn: Psn::new(0),
+                ack_req: false,
+            },
+            reth: None,
+            aeth: None,
+            payload: msg.encode(),
+        }
+        .to_frame()
+    }
+
+    fn build_response(
+        &self,
+        to: &RocePacket,
+        qp: &QueuePair,
+        opcode: Opcode,
+        aeth: Aeth,
+        payload: Bytes,
+    ) -> Frame {
+        // Responses go to the connection peer (which, behind a P4CE
+        // switch, is the switch itself — the Aggr queue pair of §IV-A).
+        let peer = qp.peer().expect("responding on unconnected QP");
+        RocePacket {
+            src_mac: self.mac,
+            dst_mac: MacAddr::for_ip(to.src_ip),
+            src_ip: self.cfg.ip,
+            dst_ip: to.src_ip,
+            udp_src_port: 0xC000 | (qp.qpn().masked() as u16 & 0x0fff),
+            bth: Bth {
+                opcode,
+                dest_qp: peer.qpn,
+                psn: to.bth.psn,
+                ack_req: false,
+            },
+            reth: None,
+            aeth: Some(aeth),
+            payload,
+        }
+        .to_frame()
+    }
+
+    fn kick_tx(&mut self, ctx: &mut Context<'_>) {
+        if self.tx_staged.is_some() {
+            return;
+        }
+        if self.tx_fifo.is_empty() {
+            self.refill_tx(ctx.now);
+        }
+        if let Some(entry) = self.tx_fifo.pop_front() {
+            self.tx_staged = Some(entry);
+            ctx.schedule(self.cfg.nic_tx_cost, TimerToken(TK_NIC_TX));
+        }
+    }
+
+    /// Pulls the next ready message from the queue pairs, round-robin over
+    /// QPNs for fairness, and stages its packets for transmission.
+    fn refill_tx(&mut self, now: SimTime) {
+        let qpns: Vec<u32> = self.qps.keys().copied().collect();
+        if qpns.is_empty() {
+            return;
+        }
+        let start = qpns
+            .iter()
+            .position(|&q| q > self.tx_last_served)
+            .unwrap_or(0);
+        for i in 0..qpns.len() {
+            let qpn = qpns[(start + i) % qpns.len()];
+            let qp = self.qps.get_mut(&qpn).expect("qpn from keys");
+            if let Some(packets) = qp.next_message(now) {
+                self.tx_last_served = qpn;
+                let port = self.qp_port(Qpn(qpn));
+                let frames: Vec<Frame> = packets
+                    .iter()
+                    .map(|p| self.build_frame(Qpn(qpn), p))
+                    .collect();
+                for f in frames {
+                    self.tx_fifo.push_back((port, f));
+                }
+                return;
+            }
+        }
+    }
+
+    fn any_inflight(&self) -> bool {
+        self.qps.values().any(|qp| qp.inflight_len() > 0)
+    }
+
+    fn enqueue_delivery(
+        &mut self,
+        delivery: Delivery,
+        cost: SimDuration,
+        ctx: &mut Context<'_>,
+    ) {
+        let id = self.next_delivery;
+        self.next_delivery = (self.next_delivery + 1) & TK_DATA_MASK;
+        self.deliveries.insert(id, delivery);
+        let ready_at = self.cpu.run(ctx.now, cost);
+        ctx.schedule_at(ready_at, TimerToken(TK_DELIVER | id));
+    }
+
+    fn complete(&mut self, c: Completion, ctx: &mut Context<'_>) {
+        let cost = self.cfg.reap_cost;
+        self.enqueue_delivery(Delivery::Completion(c), cost, ctx);
+    }
+
+    fn deliver_cm(&mut self, ev: CmEvent, ctx: &mut Context<'_>) {
+        let cost = self.cfg.cm_cost;
+        self.enqueue_delivery(Delivery::Cm(ev), cost, ctx);
+    }
+
+    fn retransmit(&mut self, qpn: Qpn, packets: Vec<PacketPlan>) {
+        self.stats.retransmits += packets.len() as u64;
+        let port = self.qp_port(qpn);
+        let frames: Vec<Frame> = packets
+            .iter()
+            .map(|p| self.build_frame(qpn, p))
+            .collect();
+        for f in frames {
+            self.tx_fifo.push_back((port, f));
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Receive-side packet processing (runs in the NIC, no CPU charge)
+    // --------------------------------------------------------------
+
+    fn process_packet(&mut self, port: PortId, frame: Frame, ctx: &mut Context<'_>) {
+        let pkt = match RocePacket::parse(&frame) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.parse_drops += 1;
+                return;
+            }
+        };
+        self.stats.packets_received += 1;
+        if pkt.bth.dest_qp == CM_QPN {
+            self.process_cm(&pkt, port, ctx);
+            return;
+        }
+        let Some(qp) = self.qps.get(&pkt.bth.dest_qp.masked()) else {
+            return; // no such QP: drop silently (as NICs do for unknown QPNs)
+        };
+        let _ = qp;
+        // Path affinity: a connection follows the path its traffic
+        // arrives on.
+        self.qp_ports.insert(pkt.bth.dest_qp.masked(), port);
+        let opcode = pkt.bth.opcode;
+        if opcode.is_write() || opcode == Opcode::ReadRequest {
+            self.process_request(pkt, ctx);
+        } else if opcode == Opcode::Acknowledge {
+            self.process_ack(pkt, ctx);
+        } else if opcode == Opcode::ReadResponseOnly {
+            self.process_read_response(pkt, ctx);
+        }
+    }
+
+    fn process_request(&mut self, pkt: RocePacket, ctx: &mut Context<'_>) {
+        let qpn = pkt.bth.dest_qp;
+        let qp = self.qps.get_mut(&qpn.masked()).expect("checked");
+        if !matches!(qp.state(), QpState::ReadyToReceive | QpState::ReadyToSend) {
+            return;
+        }
+        let verdict = qp.receive_sequence(pkt.bth.psn, pkt.bth.opcode, pkt.bth.ack_req);
+        match verdict {
+            RecvVerdict::Duplicate => {
+                let credits = self.credits();
+                let msn = self.qps[&qpn.masked()].msn();
+                let frame = self.build_response(
+                    &pkt,
+                    &self.qps[&qpn.masked()],
+                    Opcode::Acknowledge,
+                    Aeth {
+                        kind: AethKind::Ack { credits },
+                        msn,
+                    },
+                    Bytes::new(),
+                );
+                self.stats.acks_sent += 1;
+                let port = self.qp_port(qpn);
+                self.tx_fifo.push_back((port, frame));
+                self.kick_tx(ctx);
+            }
+            RecvVerdict::OutOfOrder => {
+                self.send_nak(&pkt, qpn, NakCode::PsnSequenceError, ctx);
+            }
+            RecvVerdict::Execute { ack_due } => {
+                if pkt.bth.opcode == Opcode::ReadRequest {
+                    self.execute_read(pkt, qpn, ctx);
+                } else {
+                    self.execute_write(pkt, qpn, ack_due, ctx);
+                }
+            }
+        }
+    }
+
+    fn execute_write(&mut self, pkt: RocePacket, qpn: Qpn, ack_due: bool, ctx: &mut Context<'_>) {
+        let qp = self.qps.get_mut(&qpn.masked()).expect("checked");
+        // Resolve the landing address: from the RETH on first/only
+        // packets, from the cursor on middle/last.
+        let (va, rkey) = match (pkt.reth, qp.write_cursor()) {
+            (Some(reth), _) => (reth.va, reth.rkey),
+            (None, Some(cursor)) => (cursor.va, cursor.rkey),
+            (None, None) => {
+                self.send_nak(&pkt, qpn, NakCode::InvalidRequest, ctx);
+                return;
+            }
+        };
+        // Maintain the cursor for subsequent packets of this message.
+        match pkt.bth.opcode {
+            Opcode::WriteFirst => {
+                let total = pkt.reth.expect("first carries RETH").dma_len as u64;
+                qp.set_write_cursor(Some(WriteCursor {
+                    va: va + pkt.payload.len() as u64,
+                    rkey,
+                    remaining: total - pkt.payload.len() as u64,
+                }));
+            }
+            Opcode::WriteMiddle => {
+                qp.set_write_cursor(Some(WriteCursor {
+                    va: va + pkt.payload.len() as u64,
+                    rkey,
+                    remaining: qp
+                        .write_cursor()
+                        .map(|c| c.remaining.saturating_sub(pkt.payload.len() as u64))
+                        .unwrap_or(0),
+                }));
+            }
+            Opcode::WriteLast | Opcode::WriteOnly => {
+                qp.set_write_cursor(None);
+            }
+            _ => {}
+        }
+        let result = self
+            .mem
+            .remote_write(pkt.src_ip, qpn, rkey, va, &pkt.payload);
+        match result {
+            Ok(()) => {
+                if let Some(&region) = self.watch_keys.get(&rkey.0) {
+                    let base = self.mem.info(region).va;
+                    let ev = Delivery::RemoteWrite {
+                        region,
+                        offset: va - base,
+                        len: pkt.payload.len(),
+                    };
+                    let cost = self.cfg.reap_cost;
+                    self.enqueue_delivery(ev, cost, ctx);
+                }
+                if ack_due {
+                    let credits = self.credits();
+                    let msn = self.qps[&qpn.masked()].msn();
+                    let frame = self.build_response(
+                        &pkt,
+                        &self.qps[&qpn.masked()],
+                        Opcode::Acknowledge,
+                        Aeth {
+                            kind: AethKind::Ack { credits },
+                            msn,
+                        },
+                        Bytes::new(),
+                    );
+                    self.stats.acks_sent += 1;
+                    let port = self.qp_port(qpn);
+                    self.tx_fifo.push_back((port, frame));
+                    self.kick_tx(ctx);
+                }
+            }
+            Err(_) => {
+                self.send_nak(&pkt, qpn, NakCode::RemoteAccessError, ctx);
+            }
+        }
+    }
+
+    fn execute_read(&mut self, pkt: RocePacket, qpn: Qpn, ctx: &mut Context<'_>) {
+        let reth = pkt.reth.expect("read request carries RETH");
+        match self
+            .mem
+            .remote_read(pkt.src_ip, reth.rkey, reth.va, u64::from(reth.dma_len))
+        {
+            Ok(data) => {
+                let credits = self.credits();
+                let msn = self.qps[&qpn.masked()].msn();
+                let frame = self.build_response(
+                    &pkt,
+                    &self.qps[&qpn.masked()],
+                    Opcode::ReadResponseOnly,
+                    Aeth {
+                        kind: AethKind::Ack { credits },
+                        msn,
+                    },
+                    data,
+                );
+                self.stats.acks_sent += 1;
+                let port = self.qp_port(qpn);
+                self.tx_fifo.push_back((port, frame));
+                self.kick_tx(ctx);
+            }
+            Err(_) => self.send_nak(&pkt, qpn, NakCode::RemoteAccessError, ctx),
+        }
+    }
+
+    fn send_nak(&mut self, pkt: &RocePacket, qpn: Qpn, code: NakCode, ctx: &mut Context<'_>) {
+        let msn = self.qps[&qpn.masked()].msn();
+        let frame = self.build_response(
+            pkt,
+            &self.qps[&qpn.masked()],
+            Opcode::Acknowledge,
+            Aeth {
+                kind: AethKind::Nak(code),
+                msn,
+            },
+            Bytes::new(),
+        );
+        self.stats.naks_sent += 1;
+        let port = self.qp_port(qpn);
+        self.tx_fifo.push_back((port, frame));
+        self.kick_tx(ctx);
+    }
+
+    fn process_ack(&mut self, pkt: RocePacket, ctx: &mut Context<'_>) {
+        let qpn = pkt.bth.dest_qp;
+        let aeth = pkt.aeth.expect("ACK carries AETH");
+        match aeth.kind {
+            AethKind::Ack { credits } => {
+                let qp = self.qps.get_mut(&qpn.masked()).expect("checked");
+                let done = qp.handle_ack(pkt.bth.psn, credits);
+                if done.is_empty() {
+                    qp.note_progress(pkt.bth.psn, ctx.now);
+                }
+                for (wr_id, _is_read) in done {
+                    self.complete(
+                        Completion {
+                            qpn,
+                            wr_id,
+                            status: CompletionStatus::Success,
+                            credits,
+                        },
+                        ctx,
+                    );
+                }
+                self.kick_tx(ctx); // the window may have reopened
+            }
+            AethKind::Nak(code) => {
+                // Surface the NAK to the application (P4CE's fallback
+                // trigger) in parallel with transport-level recovery.
+                let cost = self.cfg.reap_cost;
+                self.enqueue_delivery(Delivery::Nak { qpn, code }, cost, ctx);
+                let qp = self.qps.get_mut(&qpn.masked()).expect("checked");
+                match qp.handle_nak(code) {
+                    RecoveryAction::None => {}
+                    RecoveryAction::Retransmit(pkts) => {
+                        self.retransmit(qpn, pkts);
+                        self.kick_tx(ctx);
+                    }
+                    RecoveryAction::Fatal(ids) => {
+                        for (i, wr_id) in ids.into_iter().enumerate() {
+                            let status = if i == 0 {
+                                CompletionStatus::RemoteError(code)
+                            } else {
+                                CompletionStatus::Flushed
+                            };
+                            self.complete(
+                                Completion {
+                                    qpn,
+                                    wr_id,
+                                    status,
+                                    credits: 0,
+                                },
+                                ctx,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_read_response(&mut self, pkt: RocePacket, ctx: &mut Context<'_>) {
+        let qpn = pkt.bth.dest_qp;
+        let aeth = pkt.aeth.expect("read response carries AETH");
+        let AethKind::Ack { credits } = aeth.kind else {
+            return;
+        };
+        let qp = self.qps.get_mut(&qpn.masked()).expect("checked");
+        let done = qp.handle_ack(pkt.bth.psn, credits);
+        for (wr_id, is_read) in done {
+            if is_read {
+                if let Some((region, offset)) =
+                    self.read_landing.remove(&(qpn.masked(), wr_id.0))
+                {
+                    self.mem.write_local(region, offset, &pkt.payload);
+                }
+            }
+            self.complete(
+                Completion {
+                    qpn,
+                    wr_id,
+                    status: CompletionStatus::Success,
+                    credits,
+                },
+                ctx,
+            );
+        }
+        self.kick_tx(ctx);
+    }
+
+    fn process_cm(&mut self, pkt: &RocePacket, port: PortId, ctx: &mut Context<'_>) {
+        let Ok(msg) = CmMessage::decode(&pkt.payload) else {
+            self.stats.parse_drops += 1;
+            return;
+        };
+        match msg {
+            CmMessage::ConnectRequest {
+                handshake_id,
+                qpn,
+                start_psn,
+                private_data,
+            } => {
+                self.request_ports.insert(handshake_id, port);
+                self.deliver_cm(
+                    CmEvent::ConnectRequestReceived {
+                        handshake_id,
+                        from_ip: pkt.src_ip,
+                        from_qpn: qpn,
+                        start_psn,
+                        private_data,
+                    },
+                    ctx,
+                );
+            }
+            CmMessage::ConnectReply {
+                handshake_id,
+                qpn: remote_qpn,
+                start_psn,
+                private_data,
+            } => {
+                let Some(local_qpn) = self.initiated.remove(&handshake_id) else {
+                    return; // unknown or duplicate reply
+                };
+                let peer = PeerInfo {
+                    ip: pkt.src_ip,
+                    qpn: remote_qpn,
+                    start_psn,
+                };
+                if let Some(qp) = self.qps.get_mut(&local_qpn.masked()) {
+                    qp.establish_requester(peer);
+                }
+                self.qp_ports.insert(local_qpn.masked(), port);
+                let rtu = CmMessage::ReadyToUse { handshake_id };
+                let frame = self.build_cm_frame(pkt.src_ip, &rtu);
+                self.tx_fifo.push_back((port, frame));
+                self.kick_tx(ctx);
+                self.deliver_cm(
+                    CmEvent::Connected {
+                        handshake_id,
+                        qpn: local_qpn,
+                        peer_ip: pkt.src_ip,
+                        private_data,
+                    },
+                    ctx,
+                );
+            }
+            CmMessage::ReadyToUse { handshake_id } => {
+                if let Some(local_qpn) = self.responding.remove(&handshake_id) {
+                    if let Some(qp) = self.qps.get_mut(&local_qpn.masked()) {
+                        qp.promote_to_rts();
+                    }
+                    self.deliver_cm(
+                        CmEvent::Established {
+                            handshake_id,
+                            qpn: local_qpn,
+                            peer_ip: pkt.src_ip,
+                        },
+                        ctx,
+                    );
+                }
+            }
+            CmMessage::ConnectReject {
+                handshake_id,
+                reason,
+            } => {
+                if let Some(local_qpn) = self.initiated.remove(&handshake_id) {
+                    self.qps.remove(&local_qpn.masked());
+                    self.deliver_cm(
+                        CmEvent::Rejected {
+                            handshake_id,
+                            reason,
+                        },
+                        ctx,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The operations an [`RdmaApp`] may perform from its callbacks.
+pub struct HostOps<'a, 'c> {
+    core: &'a mut HostCore,
+    ctx: &'a mut Context<'c>,
+}
+
+impl HostOps<'_, '_> {
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+
+    /// This host's IP address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.core.cfg.ip
+    }
+
+    /// This host's configuration.
+    pub fn config(&self) -> &HostConfig {
+        &self.core.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> HostStats {
+        self.core.stats
+    }
+
+    /// Registers a memory region (see [`HostMemory::register`]).
+    pub fn register_region(&mut self, len: usize, perms: Permissions) -> RegionHandle {
+        self.core.mem.register(len, perms)
+    }
+
+    /// Public identity of a region.
+    pub fn region_info(&self, region: RegionHandle) -> RegionInfo {
+        self.core.mem.info(region)
+    }
+
+    /// Grants `peer` permissions on a region.
+    pub fn grant(&mut self, region: RegionHandle, peer: Ipv4Addr, perms: Permissions) {
+        self.core.mem.grant(region, peer, perms);
+    }
+
+    /// Revokes `peer`'s explicit grant on a region.
+    pub fn revoke(&mut self, region: RegionHandle, peer: Ipv4Addr) {
+        self.core.mem.revoke(region, peer);
+    }
+
+    /// Restricts which local queue pairs may write into `region`.
+    pub fn set_allowed_writer_qpns(
+        &mut self,
+        region: RegionHandle,
+        qpns: Option<std::collections::BTreeSet<u32>>,
+    ) {
+        self.core.mem.set_allowed_writer_qpns(region, qpns);
+    }
+
+    /// Requests [`RdmaApp::on_remote_write`] notifications for writes
+    /// landing in `region`.
+    pub fn watch_region(&mut self, region: RegionHandle) {
+        let rkey = self.core.mem.info(region).rkey;
+        self.core.watch_keys.insert(rkey.0, region);
+    }
+
+    /// Local read from a region.
+    pub fn read_local(&self, region: RegionHandle, offset: usize, len: usize) -> &[u8] {
+        self.core.mem.read_local(region, offset, len)
+    }
+
+    /// Local write into a region.
+    pub fn write_local(&mut self, region: RegionHandle, offset: usize, data: &[u8]) {
+        self.core.mem.write_local(region, offset, data);
+    }
+
+    /// Initiates a CM handshake towards `remote_ip`, returning the
+    /// handshake id. A [`CmEvent::Connected`] or [`CmEvent::Rejected`]
+    /// follows.
+    pub fn connect(&mut self, remote_ip: Ipv4Addr, private_data: Bytes) -> u64 {
+        let qpn = self.core.alloc_qpn();
+        let start_psn = self.core.next_start_psn();
+        let mut qp = QueuePair::new(
+            qpn,
+            start_psn,
+            self.core.cfg.mtu,
+            self.core.cfg.max_inflight,
+        );
+        qp.begin_connect();
+        self.core.qps.insert(qpn.masked(), qp);
+        let handshake_id =
+            (u64::from(u32::from_be_bytes(self.core.cfg.ip.octets())) << 24) | self.core.next_handshake;
+        self.core.next_handshake += 1;
+        self.core.initiated.insert(handshake_id, qpn);
+        let msg = CmMessage::ConnectRequest {
+            handshake_id,
+            qpn,
+            start_psn,
+            private_data,
+        };
+        let frame = self.core.build_cm_frame(remote_ip, &msg);
+        self.core.cpu.run(self.ctx.now, self.core.cfg.cm_cost);
+        let port = self.core.active_port;
+        self.core.qp_ports.insert(qpn.masked(), port);
+        self.core.tx_fifo.push_back((port, frame));
+        self.core.kick_tx(self.ctx);
+        handshake_id
+    }
+
+    /// Accepts an incoming connect request, creating the responder queue
+    /// pair and sending the ConnectReply with `private_data` piggybacked.
+    pub fn accept(
+        &mut self,
+        handshake_id: u64,
+        from_ip: Ipv4Addr,
+        from_qpn: Qpn,
+        start_psn: Psn,
+        private_data: Bytes,
+    ) -> Qpn {
+        let qpn = self.core.alloc_qpn();
+        let local_psn = self.core.next_start_psn();
+        let mut qp = QueuePair::new(
+            qpn,
+            local_psn,
+            self.core.cfg.mtu,
+            self.core.cfg.max_inflight,
+        );
+        qp.establish_responder(PeerInfo {
+            ip: from_ip,
+            qpn: from_qpn,
+            start_psn,
+        });
+        self.core.qps.insert(qpn.masked(), qp);
+        self.core.responding.insert(handshake_id, qpn);
+        let msg = CmMessage::ConnectReply {
+            handshake_id,
+            qpn,
+            start_psn: local_psn,
+            private_data,
+        };
+        let frame = self.core.build_cm_frame(from_ip, &msg);
+        self.core.cpu.run(self.ctx.now, self.core.cfg.cm_cost);
+        let port = self
+            .core
+            .request_ports
+            .remove(&handshake_id)
+            .unwrap_or(self.core.active_port);
+        self.core.qp_ports.insert(qpn.masked(), port);
+        self.core.tx_fifo.push_back((port, frame));
+        self.core.kick_tx(self.ctx);
+        qpn
+    }
+
+    /// Rejects an incoming connect request.
+    pub fn reject(&mut self, handshake_id: u64, from_ip: Ipv4Addr, reason: RejectReason) {
+        let msg = CmMessage::ConnectReject {
+            handshake_id,
+            reason,
+        };
+        let frame = self.core.build_cm_frame(from_ip, &msg);
+        let port = self
+            .core
+            .request_ports
+            .remove(&handshake_id)
+            .unwrap_or(self.core.active_port);
+        self.core.tx_fifo.push_back((port, frame));
+        self.core.kick_tx(self.ctx);
+    }
+
+    /// Tears down a queue pair (e.g. when abandoning a connection after a
+    /// fatal error). Outstanding requests flush.
+    pub fn destroy_qp(&mut self, qpn: Qpn) {
+        self.core.qps.remove(&qpn.masked());
+        self.core.qp_ports.remove(&qpn.masked());
+    }
+
+    /// Switches the path used by *new* connections (multi-homed hosts:
+    /// fail over to a backup fabric when the primary dies).
+    pub fn set_active_port(&mut self, port: PortId) {
+        self.core.active_port = port;
+    }
+
+    /// The port new connections currently use.
+    pub fn active_port(&self) -> PortId {
+        self.core.active_port
+    }
+
+    /// The state of a queue pair, if it exists.
+    pub fn qp_state(&self, qpn: Qpn) -> Option<QpState> {
+        self.core.qps.get(&qpn.masked()).map(|q| q.state())
+    }
+
+    /// The peer of a queue pair, once connected.
+    pub fn qp_peer(&self, qpn: Qpn) -> Option<PeerInfo> {
+        self.core.qps.get(&qpn.masked()).and_then(|q| q.peer())
+    }
+
+    /// Messages posted on `qpn` and not yet acknowledged.
+    pub fn qp_inflight(&self, qpn: Qpn) -> usize {
+        self.core
+            .qps
+            .get(&qpn.masked())
+            .map(|q| q.inflight_len() + q.pending_len())
+            .unwrap_or(0)
+    }
+
+    /// Posts a one-sided RDMA write. Charges the CPU for the post; the NIC
+    /// picks the request up when the doorbell lands.
+    pub fn post_write(
+        &mut self,
+        qpn: Qpn,
+        wr_id: WrId,
+        remote_va: u64,
+        rkey: crate::types::RKey,
+        data: Bytes,
+    ) {
+        self.post(
+            qpn,
+            WorkRequest::Write {
+                wr_id,
+                remote_va,
+                rkey,
+                data,
+            },
+        );
+    }
+
+    /// Posts a one-sided RDMA read landing in `local_region` at
+    /// `local_offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the MTU (single-packet reads only in this
+    /// model; the protocols only read small heartbeat words).
+    #[allow(clippy::too_many_arguments)] // mirrors the verbs API shape
+    pub fn post_read(
+        &mut self,
+        qpn: Qpn,
+        wr_id: WrId,
+        remote_va: u64,
+        rkey: crate::types::RKey,
+        len: u32,
+        local_region: RegionHandle,
+        local_offset: usize,
+    ) {
+        assert!(
+            len as usize <= self.core.cfg.mtu,
+            "reads larger than one MTU are not modelled"
+        );
+        self.core
+            .read_landing
+            .insert((qpn.masked(), wr_id.0), (local_region, local_offset));
+        self.post(
+            qpn,
+            WorkRequest::Read {
+                wr_id,
+                remote_va,
+                rkey,
+                len,
+                local_region,
+                local_offset,
+            },
+        );
+    }
+
+    fn post(&mut self, qpn: Qpn, wr: WorkRequest) {
+        let done = self.core.cpu.run(self.ctx.now, self.core.cfg.post_cost);
+        let wr_id = wr.wr_id();
+        match self.core.qps.get_mut(&qpn.masked()) {
+            Some(qp) => {
+                if qp.post(wr).is_err() {
+                    self.core.complete(
+                        Completion {
+                            qpn,
+                            wr_id,
+                            status: CompletionStatus::Flushed,
+                            credits: 0,
+                        },
+                        self.ctx,
+                    );
+                    return;
+                }
+            }
+            None => {
+                self.core.complete(
+                    Completion {
+                        qpn,
+                        wr_id,
+                        status: CompletionStatus::Flushed,
+                        credits: 0,
+                    },
+                    self.ctx,
+                );
+                return;
+            }
+        }
+        // The doorbell rings when the CPU finishes the post.
+        self.ctx.schedule_at(done, TimerToken(TK_POST));
+    }
+
+    /// Charges additional application CPU work (protocol logic beyond the
+    /// fixed per-verb costs).
+    pub fn cpu_work(&mut self, cost: SimDuration) {
+        self.core.cpu.run(self.ctx.now, cost);
+    }
+
+    /// Arms an application timer; [`RdmaApp::on_timer`] fires with `token`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` uses the top eight bits (reserved for the host's
+    /// internal multiplexing).
+    pub fn set_app_timer(&mut self, after: SimDuration, token: u64) {
+        assert_eq!(token & TK_CLASS_MASK, 0, "app timer token too large");
+        self.ctx.schedule(after, TimerToken(TK_APP | token));
+    }
+
+    /// Total CPU busy time so far (for utilization reporting).
+    pub fn cpu_busy(&self) -> SimDuration {
+        self.core.cpu.busy_time()
+    }
+}
+
+/// A complete RDMA host node: application + CPU + NIC + memory.
+pub struct Host<A: RdmaApp> {
+    core: HostCore,
+    app: A,
+}
+
+impl<A: RdmaApp> Host<A> {
+    /// Builds a host with configuration `cfg` running `app`.
+    pub fn new(cfg: HostConfig, app: A) -> Self {
+        Host {
+            core: HostCore::new(cfg),
+            app,
+        }
+    }
+
+    /// The application, for post-run inspection.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable access to the application (e.g. to inject workload
+    /// parameters between runs).
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// Host-level counters.
+    pub fn stats(&self) -> HostStats {
+        self.core.stats
+    }
+
+    /// This host's IP.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.core.cfg.ip
+    }
+
+    /// Total CPU busy time.
+    pub fn cpu_busy(&self) -> SimDuration {
+        self.core.cpu.busy_time()
+    }
+
+    /// Runs a closure over the application with live [`HostOps`] — the
+    /// hook experiment harnesses use (via
+    /// `netsim::Simulation::with_node`) to inject actions mid-run, e.g.
+    /// forcing a communication rebuild.
+    pub fn with_ops<R>(
+        &mut self,
+        ctx: &mut Context<'_>,
+        f: impl FnOnce(&mut A, &mut HostOps<'_, '_>) -> R,
+    ) -> R {
+        let mut ops = Self::ops(&mut self.core, ctx);
+        f(&mut self.app, &mut ops)
+    }
+
+    fn ops<'a, 'c>(core: &'a mut HostCore, ctx: &'a mut Context<'c>) -> HostOps<'a, 'c> {
+        HostOps { core, ctx }
+    }
+
+    fn maybe_arm_retransmit(&mut self, ctx: &mut Context<'_>) {
+        if !self.core.rt_tick_armed && self.core.any_inflight() {
+            self.core.rt_tick_armed = true;
+            ctx.schedule(
+                self.core.cfg.retransmit_timeout,
+                TimerToken(TK_RETRANSMIT),
+            );
+        }
+    }
+}
+
+impl<A: RdmaApp> Node for Host<A> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let mut ops = Self::ops(&mut self.core, ctx);
+        self.app.on_start(&mut ops);
+        self.maybe_arm_retransmit(ctx);
+    }
+
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut Context<'_>) {
+        // Classify by the BTH opcode byte (fixed offset): *request-starting*
+        // packets (write-first/only, read request, send) consume a
+        // receive-buffer slot — the unit the credit count advertises.
+        // Middle/last packets belong to an already-admitted request, and
+        // responses consume nothing. A full buffer tail-drops new
+        // requests — what happens on real NICs when a sender ignores the
+        // advertised credits.
+        const BTH_OPCODE_OFFSET: usize = 14 + 20 + 8;
+        let is_request = frame
+            .data
+            .get(BTH_OPCODE_OFFSET)
+            .and_then(|&b| crate::opcode::Opcode::from_wire(b))
+            .map(|op| {
+                matches!(
+                    op,
+                    Opcode::WriteFirst | Opcode::WriteOnly | Opcode::ReadRequest | Opcode::SendOnly
+                )
+            })
+            .unwrap_or(false);
+        if is_request && self.core.rx_request_backlog >= self.core.cfg.rx_capacity {
+            self.core.stats.rx_overflow_drops += 1;
+            return;
+        }
+        self.core.rx_request_backlog += usize::from(is_request);
+        self.core.rx_queue.push_back((port, frame, is_request));
+        if !self.core.rx_busy {
+            self.core.rx_busy = true;
+            ctx.schedule(self.core.cfg.nic_rx_cost, TimerToken(TK_RX));
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_>) {
+        let class = token.0 & TK_CLASS_MASK;
+        let data = token.0 & TK_DATA_MASK;
+        match class {
+            TK_NIC_TX => {
+                if let Some((port, frame)) = self.core.tx_staged.take() {
+                    self.core.stats.packets_sent += 1;
+                    ctx.send(port, frame);
+                }
+                self.core.kick_tx(ctx);
+                self.maybe_arm_retransmit(ctx);
+            }
+            TK_RX => {
+                if let Some((port, frame, is_request)) = self.core.rx_queue.pop_front() {
+                    self.core.rx_request_backlog -= usize::from(is_request);
+                    self.core.process_packet(port, frame, ctx);
+                }
+                if self.core.rx_queue.is_empty() {
+                    self.core.rx_busy = false;
+                } else {
+                    ctx.schedule(self.core.cfg.nic_rx_cost, TimerToken(TK_RX));
+                }
+                self.maybe_arm_retransmit(ctx);
+            }
+            TK_POST => {
+                self.core.kick_tx(ctx);
+                self.maybe_arm_retransmit(ctx);
+            }
+            TK_DELIVER => {
+                let Some(delivery) = self.core.deliveries.remove(&data) else {
+                    return;
+                };
+                let mut ops = Self::ops(&mut self.core, ctx);
+                match delivery {
+                    Delivery::Completion(c) => self.app.on_completion(c, &mut ops),
+                    Delivery::Cm(ev) => self.app.on_cm_event(ev, &mut ops),
+                    Delivery::RemoteWrite {
+                        region,
+                        offset,
+                        len,
+                    } => self.app.on_remote_write(region, offset, len, &mut ops),
+                    Delivery::Nak { qpn, code } => self.app.on_nak(qpn, code, &mut ops),
+                }
+                self.maybe_arm_retransmit(ctx);
+            }
+            TK_APP => {
+                let mut ops = Self::ops(&mut self.core, ctx);
+                self.app.on_timer(data, &mut ops);
+                self.maybe_arm_retransmit(ctx);
+            }
+            TK_RETRANSMIT => {
+                self.core.rt_tick_armed = false;
+                let timeout = self.core.cfg.retransmit_timeout;
+                let retry_limit = self.core.cfg.retry_limit;
+                let qpns: Vec<u32> = self.core.qps.keys().copied().collect();
+                for qpn in qpns {
+                    let action = self
+                        .core
+                        .qps
+                        .get_mut(&qpn)
+                        .expect("qpn from keys")
+                        .check_timeout(ctx.now, timeout, retry_limit);
+                    match action {
+                        RecoveryAction::None => {}
+                        RecoveryAction::Retransmit(pkts) => {
+                            self.core.retransmit(Qpn(qpn), pkts);
+                            self.core.kick_tx(ctx);
+                        }
+                        RecoveryAction::Fatal(ids) => {
+                            for (i, wr_id) in ids.into_iter().enumerate() {
+                                let status = if i == 0 {
+                                    CompletionStatus::TimedOut
+                                } else {
+                                    CompletionStatus::Flushed
+                                };
+                                self.core.complete(
+                                    Completion {
+                                        qpn: Qpn(qpn),
+                                        wr_id,
+                                        status,
+                                        credits: 0,
+                                    },
+                                    ctx,
+                                );
+                            }
+                        }
+                    }
+                }
+                self.maybe_arm_retransmit(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("host {}", self.core.cfg.ip)
+    }
+}

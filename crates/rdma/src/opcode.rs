@@ -1,0 +1,140 @@
+//! InfiniBand reliable-connection opcodes (BTH `OpCode` field, Table I).
+
+use std::fmt;
+
+/// The subset of RC transport opcodes the simulation implements, with their
+/// real wire values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// SEND Only — used here to carry connection-management datagrams to QP1.
+    SendOnly = 0x04,
+    /// RDMA WRITE First: first packet of a multi-packet write (carries RETH).
+    WriteFirst = 0x06,
+    /// RDMA WRITE Middle.
+    WriteMiddle = 0x07,
+    /// RDMA WRITE Last.
+    WriteLast = 0x08,
+    /// RDMA WRITE Only: a write that fits in a single packet (carries RETH).
+    WriteOnly = 0x0a,
+    /// RDMA READ Request (carries RETH, no payload).
+    ReadRequest = 0x0c,
+    /// RDMA READ Response Only (carries AETH + payload).
+    ReadResponseOnly = 0x10,
+    /// Acknowledge (carries AETH). Positive or negative per the syndrome.
+    Acknowledge = 0x11,
+}
+
+impl Opcode {
+    /// Decodes a wire value.
+    pub fn from_wire(v: u8) -> Option<Opcode> {
+        Some(match v {
+            0x04 => Opcode::SendOnly,
+            0x06 => Opcode::WriteFirst,
+            0x07 => Opcode::WriteMiddle,
+            0x08 => Opcode::WriteLast,
+            0x0a => Opcode::WriteOnly,
+            0x0c => Opcode::ReadRequest,
+            0x10 => Opcode::ReadResponseOnly,
+            0x11 => Opcode::Acknowledge,
+            _ => return None,
+        })
+    }
+
+    /// The wire value.
+    pub fn to_wire(self) -> u8 {
+        self as u8
+    }
+
+    /// `true` for packets that begin a message and therefore carry an RETH
+    /// (RDMA extended transport header).
+    pub fn carries_reth(self) -> bool {
+        matches!(
+            self,
+            Opcode::WriteFirst | Opcode::WriteOnly | Opcode::ReadRequest
+        )
+    }
+
+    /// `true` for packets that carry an AETH (acknowledge extended header).
+    pub fn carries_aeth(self) -> bool {
+        matches!(self, Opcode::Acknowledge | Opcode::ReadResponseOnly)
+    }
+
+    /// `true` for any packet of an RDMA write message.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            Opcode::WriteFirst | Opcode::WriteMiddle | Opcode::WriteLast | Opcode::WriteOnly
+        )
+    }
+
+    /// `true` for the final packet of a message (the one whose ACK completes
+    /// the request).
+    pub fn ends_message(self) -> bool {
+        matches!(
+            self,
+            Opcode::WriteLast | Opcode::WriteOnly | Opcode::SendOnly | Opcode::ReadRequest
+        )
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::SendOnly => "SEND_ONLY",
+            Opcode::WriteFirst => "WRITE_FIRST",
+            Opcode::WriteMiddle => "WRITE_MIDDLE",
+            Opcode::WriteLast => "WRITE_LAST",
+            Opcode::WriteOnly => "WRITE_ONLY",
+            Opcode::ReadRequest => "READ_REQ",
+            Opcode::ReadResponseOnly => "READ_RESP_ONLY",
+            Opcode::Acknowledge => "ACK",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Opcode; 8] = [
+        Opcode::SendOnly,
+        Opcode::WriteFirst,
+        Opcode::WriteMiddle,
+        Opcode::WriteLast,
+        Opcode::WriteOnly,
+        Opcode::ReadRequest,
+        Opcode::ReadResponseOnly,
+        Opcode::Acknowledge,
+    ];
+
+    #[test]
+    fn wire_roundtrip() {
+        for op in ALL {
+            assert_eq!(Opcode::from_wire(op.to_wire()), Some(op));
+        }
+        assert_eq!(Opcode::from_wire(0xff), None);
+    }
+
+    #[test]
+    fn reth_and_aeth_classification() {
+        assert!(Opcode::WriteOnly.carries_reth());
+        assert!(Opcode::WriteFirst.carries_reth());
+        assert!(Opcode::ReadRequest.carries_reth());
+        assert!(!Opcode::WriteMiddle.carries_reth());
+        assert!(Opcode::Acknowledge.carries_aeth());
+        assert!(Opcode::ReadResponseOnly.carries_aeth());
+        assert!(!Opcode::WriteOnly.carries_aeth());
+    }
+
+    #[test]
+    fn message_boundaries() {
+        assert!(Opcode::WriteOnly.ends_message());
+        assert!(Opcode::WriteLast.ends_message());
+        assert!(!Opcode::WriteFirst.ends_message());
+        assert!(!Opcode::WriteMiddle.ends_message());
+        assert!(Opcode::WriteMiddle.is_write());
+        assert!(!Opcode::Acknowledge.is_write());
+    }
+}

@@ -1,0 +1,217 @@
+//! Fundamental RDMA identifiers and constants.
+
+use std::fmt;
+
+/// The IANA-assigned UDP destination port for RoCE v2.
+pub const ROCE_UDP_PORT: u16 = 4791;
+
+/// The well-known queue pair reserved for connection-management datagrams
+/// (QP1 carries MADs on real fabrics; our CM messages target it too).
+pub const CM_QPN: Qpn = Qpn(1);
+
+/// The default RDMA path MTU: payload bytes carried per packet of a
+/// multi-packet message (RoCE commonly negotiates 1024 B on 1500 B
+/// Ethernet — the configuration the paper describes in §IV-B).
+pub const DEFAULT_RDMA_MTU: usize = 1024;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Deterministically derives the MAC an interface with IPv4 address
+    /// `ip` uses in this simulation (stands in for ARP).
+    pub fn for_ip(ip: std::net::Ipv4Addr) -> MacAddr {
+        let o = ip.octets();
+        MacAddr([0x02, 0x00, o[0], o[1], o[2], o[3]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// A queue pair number: the 24-bit identifier of the receiving end of an
+/// RDMA connection (Table I of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Qpn(pub u32);
+
+impl Qpn {
+    /// Masks the value to the 24 bits that exist on the wire.
+    pub fn masked(self) -> u32 {
+        self.0 & 0x00ff_ffff
+    }
+}
+
+impl fmt::Display for Qpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qp{}", self.0)
+    }
+}
+
+/// A packet sequence number: 24-bit, wrapping, per-queue-pair.
+///
+/// PSNs identify a packet within the stream on one queue pair; the ACK for
+/// a request with PSN `p` carries the same `p` (§II-A). Comparisons use the
+/// standard serial-number arithmetic over the 24-bit space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Psn(u32);
+
+impl Psn {
+    const MASK: u32 = 0x00ff_ffff;
+
+    /// Builds a PSN, truncating to 24 bits.
+    pub fn new(v: u32) -> Psn {
+        Psn(v & Self::MASK)
+    }
+
+    /// The raw 24-bit value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The PSN `n` packets later, wrapping at 2²⁴.
+    pub fn advance(self, n: u32) -> Psn {
+        Psn((self.0.wrapping_add(n)) & Self::MASK)
+    }
+
+    /// The next PSN.
+    pub fn next(self) -> Psn {
+        self.advance(1)
+    }
+
+    /// Wrapping distance from `self` to `other` (how many increments get
+    /// from `self` to `other`).
+    pub fn distance_to(self, other: Psn) -> u32 {
+        (other.0.wrapping_sub(self.0)) & Self::MASK
+    }
+
+    /// Serial-number comparison: `true` if `self` is strictly before
+    /// `other` in the 24-bit circular space (distance < 2²³).
+    pub fn is_before(self, other: Psn) -> bool {
+        self != other && self.distance_to(other) < (1 << 23)
+    }
+}
+
+impl fmt::Display for Psn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "psn{}", self.0)
+    }
+}
+
+/// A remote access key authorizing one-sided operations against a memory
+/// region (the `R_key` of Table I). Randomly generated at registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RKey(pub u32);
+
+impl fmt::Display for RKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rkey{:#010x}", self.0)
+    }
+}
+
+/// Access rights attached to a registered memory region (§II-A,
+/// "Permissions"). Local access is always implied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Permissions {
+    /// Remote peers may issue RDMA writes into the region.
+    pub remote_write: bool,
+    /// Remote peers may issue RDMA reads from the region.
+    pub remote_read: bool,
+}
+
+impl Permissions {
+    /// No remote access at all.
+    pub const NONE: Permissions = Permissions {
+        remote_write: false,
+        remote_read: false,
+    };
+    /// Remote read only.
+    pub const READ: Permissions = Permissions {
+        remote_write: false,
+        remote_read: true,
+    };
+    /// Remote write only.
+    pub const WRITE: Permissions = Permissions {
+        remote_write: true,
+        remote_read: false,
+    };
+    /// Remote read and write.
+    pub const READ_WRITE: Permissions = Permissions {
+        remote_write: true,
+        remote_read: true,
+    };
+}
+
+impl fmt::Display for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.remote_read, self.remote_write) {
+            (false, false) => write!(f, "none"),
+            (true, false) => write!(f, "read"),
+            (false, true) => write!(f, "write"),
+            (true, true) => write!(f, "read+write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn psn_wraps_at_24_bits() {
+        let p = Psn::new(0x00ff_ffff);
+        assert_eq!(p.next(), Psn::new(0));
+        assert_eq!(p.advance(3), Psn::new(2));
+        assert_eq!(Psn::new(0x0100_0000), Psn::new(0));
+    }
+
+    #[test]
+    fn psn_serial_comparison() {
+        assert!(Psn::new(5).is_before(Psn::new(6)));
+        assert!(!Psn::new(6).is_before(Psn::new(5)));
+        assert!(!Psn::new(6).is_before(Psn::new(6)));
+        // Across the wrap point.
+        assert!(Psn::new(0x00ff_fffe).is_before(Psn::new(1)));
+        assert!(!Psn::new(1).is_before(Psn::new(0x00ff_fffe)));
+    }
+
+    #[test]
+    fn psn_distance() {
+        assert_eq!(Psn::new(10).distance_to(Psn::new(14)), 4);
+        assert_eq!(Psn::new(0x00ff_ffff).distance_to(Psn::new(1)), 2);
+    }
+
+    #[test]
+    fn mac_for_ip_is_deterministic_and_unique() {
+        let a = MacAddr::for_ip(Ipv4Addr::new(10, 0, 0, 1));
+        let b = MacAddr::for_ip(Ipv4Addr::new(10, 0, 0, 2));
+        assert_ne!(a, b);
+        assert_eq!(a, MacAddr::for_ip(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(a.to_string(), "02:00:0a:00:00:01");
+    }
+
+    #[test]
+    fn permissions_display() {
+        assert_eq!(Permissions::NONE.to_string(), "none");
+        assert_eq!(Permissions::READ.to_string(), "read");
+        assert_eq!(Permissions::WRITE.to_string(), "write");
+        assert_eq!(Permissions::READ_WRITE.to_string(), "read+write");
+    }
+
+    #[test]
+    fn qpn_masks_to_24_bits() {
+        assert_eq!(Qpn(0xff00_0042).masked(), 0x42);
+    }
+}

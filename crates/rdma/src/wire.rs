@@ -1,0 +1,657 @@
+//! RoCE v2 wire format: Ethernet / IPv4 / UDP / BTH / RETH / AETH / ICRC.
+//!
+//! Every packet in the simulation is a real byte string in this format.
+//! This matters for the reproduction: the P4CE switch program must parse
+//! these bytes, rewrite addressing and RDMA fields, and *recompute the
+//! integrity checksum* — the same work the paper's P4 deparser does.
+//!
+//! Layout (fields the paper's Table I manipulates are marked ★):
+//!
+//! ```text
+//! Ethernet  dst(6) src(6) ethertype(2)=0x0800
+//! IPv4      ver/ihl(1) dscp(1) totlen(2) id(2) frag(2) ttl(1) proto(1)=17
+//!           checksum(2) src(4)★ dst(4)★
+//! UDP       sport(2) dport(2)=4791 len(2) cksum(2)
+//! BTH       opcode(1)★ flags(1,bit7=ack_req) pkey(2) resv(1) destqp(3)★
+//!           resv(1) psn(3)★
+//! [RETH]    va(8)★ rkey(4)★ dmalen(4)        (write-first/only, read-req)
+//! [AETH]    syndrome(1)★ msn(3)              (ack, read-response)
+//! payload   …
+//! ICRC      fnv1a(4) over the pseudo-header + transport headers + payload
+//! ```
+//!
+//! The AETH syndrome uses a simplified-but-faithful encoding: bits 7–5
+//! select ACK (`000`), RNR NAK (`001`) or NAK (`011`); for ACKs the low five
+//! bits carry the *credit count* (how many further requests the responder
+//! can buffer — the field P4CE's gather logic must aggregate with a
+//! minimum), for NAKs they carry the error code.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use netsim::Frame;
+use std::error::Error;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::opcode::Opcode;
+use crate::types::{MacAddr, Psn, Qpn, RKey, ROCE_UDP_PORT};
+
+/// Ethernet header length.
+pub const ETH_LEN: usize = 14;
+/// IPv4 header length (no options).
+pub const IPV4_LEN: usize = 20;
+/// UDP header length.
+pub const UDP_LEN: usize = 8;
+/// Base transport header length.
+pub const BTH_LEN: usize = 12;
+/// RDMA extended transport header length.
+pub const RETH_LEN: usize = 16;
+/// ACK extended transport header length.
+pub const AETH_LEN: usize = 4;
+/// Invariant CRC length.
+pub const ICRC_LEN: usize = 4;
+
+/// Header bytes of a packet with neither RETH nor AETH, including ICRC.
+pub const BASE_OVERHEAD: usize = ETH_LEN + IPV4_LEN + UDP_LEN + BTH_LEN + ICRC_LEN;
+
+/// The maximum credit count representable in the 5-bit AETH field.
+pub const MAX_CREDITS: u8 = 31;
+
+/// Negative-acknowledge codes (AETH syndrome low bits when NAK).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NakCode {
+    /// PSN sequence error: the responder saw a gap.
+    PsnSequenceError,
+    /// The request was malformed for this queue pair.
+    InvalidRequest,
+    /// R_key / bounds / permission violation.
+    RemoteAccessError,
+    /// The responder failed internally.
+    RemoteOperationalError,
+}
+
+impl NakCode {
+    fn to_bits(self) -> u8 {
+        match self {
+            NakCode::PsnSequenceError => 0,
+            NakCode::InvalidRequest => 1,
+            NakCode::RemoteAccessError => 2,
+            NakCode::RemoteOperationalError => 3,
+        }
+    }
+
+    fn from_bits(v: u8) -> Option<NakCode> {
+        Some(match v {
+            0 => NakCode::PsnSequenceError,
+            1 => NakCode::InvalidRequest,
+            2 => NakCode::RemoteAccessError,
+            3 => NakCode::RemoteOperationalError,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for NakCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NakCode::PsnSequenceError => "psn sequence error",
+            NakCode::InvalidRequest => "invalid request",
+            NakCode::RemoteAccessError => "remote access error",
+            NakCode::RemoteOperationalError => "remote operational error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The decoded AETH: a positive ACK carrying flow-control credits, or a NAK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AethKind {
+    /// Positive acknowledgement; `credits` is the responder's current
+    /// credit count (§II-A, "Congestion").
+    Ack {
+        /// How many further requests the responder can accept right now.
+        credits: u8,
+    },
+    /// Negative acknowledgement with an error code.
+    Nak(NakCode),
+}
+
+/// The ACK extended transport header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Aeth {
+    /// ACK-or-NAK plus its argument.
+    pub kind: AethKind,
+    /// Message sequence number (24-bit, informational in this model).
+    pub msn: u32,
+}
+
+impl Aeth {
+    fn syndrome(&self) -> u8 {
+        match self.kind {
+            AethKind::Ack { credits } => credits.min(MAX_CREDITS),
+            AethKind::Nak(code) => (0b011 << 5) | code.to_bits(),
+        }
+    }
+
+    fn from_syndrome(syndrome: u8, msn: u32) -> Result<Aeth, ParseError> {
+        let kind = match syndrome >> 5 {
+            0b000 => AethKind::Ack {
+                credits: syndrome & 0x1f,
+            },
+            0b011 => AethKind::Nak(
+                NakCode::from_bits(syndrome & 0x1f).ok_or(ParseError::BadAethSyndrome(syndrome))?,
+            ),
+            _ => return Err(ParseError::BadAethSyndrome(syndrome)),
+        };
+        Ok(Aeth {
+            kind,
+            msn: msn & 0x00ff_ffff,
+        })
+    }
+}
+
+/// The RDMA extended transport header carried by write-first/write-only and
+/// read-request packets: where the one-sided operation lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reth {
+    /// Target virtual address in the remote region.
+    pub va: u64,
+    /// Authorization key for the remote region.
+    pub rkey: RKey,
+    /// Total message length in bytes (across all packets of the message).
+    pub dma_len: u32,
+}
+
+/// The base transport header present in every RoCE packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bth {
+    /// What this packet is (Table I, "Operation code").
+    pub opcode: Opcode,
+    /// Destination queue pair.
+    pub dest_qp: Qpn,
+    /// Packet sequence number.
+    pub psn: Psn,
+    /// Request an acknowledgement for this packet.
+    pub ack_req: bool,
+}
+
+/// A fully-decoded RoCE v2 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RocePacket {
+    /// Source MAC.
+    pub src_mac: MacAddr,
+    /// Destination MAC.
+    pub dst_mac: MacAddr,
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// UDP source port (RoCE uses it for ECMP entropy; we keep it stable
+    /// per queue pair).
+    pub udp_src_port: u16,
+    /// Base transport header.
+    pub bth: Bth,
+    /// Present on write-first/write-only/read-request packets.
+    pub reth: Option<Reth>,
+    /// Present on ACK and read-response packets.
+    pub aeth: Option<Aeth>,
+    /// Message payload bytes carried by this packet.
+    pub payload: Bytes,
+}
+
+impl RocePacket {
+    /// Serialized length on the wire (Ethernet frame, before layer-1
+    /// overhead).
+    pub fn wire_len(&self) -> usize {
+        BASE_OVERHEAD
+            + if self.reth.is_some() { RETH_LEN } else { 0 }
+            + if self.aeth.is_some() { AETH_LEN } else { 0 }
+            + self.payload.len()
+    }
+
+    /// Serializes the packet to an Ethernet frame, computing the IPv4
+    /// checksum and the ICRC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RETH/AETH presence contradicts the opcode (a
+    /// construction bug, not a runtime condition).
+    pub fn to_frame(&self) -> Frame {
+        assert_eq!(
+            self.reth.is_some(),
+            self.bth.opcode.carries_reth(),
+            "RETH presence must match opcode {}",
+            self.bth.opcode
+        );
+        assert_eq!(
+            self.aeth.is_some(),
+            self.bth.opcode.carries_aeth(),
+            "AETH presence must match opcode {}",
+            self.bth.opcode
+        );
+        let total = self.wire_len();
+        let mut buf = BytesMut::with_capacity(total);
+
+        // Ethernet
+        buf.put_slice(&self.dst_mac.0);
+        buf.put_slice(&self.src_mac.0);
+        buf.put_u16(0x0800);
+
+        // IPv4
+        let ip_total = (total - ETH_LEN) as u16;
+        let ip_start = buf.len();
+        buf.put_u8(0x45); // version 4, IHL 5
+        buf.put_u8(0); // DSCP/ECN
+        buf.put_u16(ip_total);
+        buf.put_u16(0); // identification
+        buf.put_u16(0x4000); // don't fragment
+        buf.put_u8(64); // TTL
+        buf.put_u8(17); // UDP
+        buf.put_u16(0); // checksum placeholder
+        buf.put_slice(&self.src_ip.octets());
+        buf.put_slice(&self.dst_ip.octets());
+        let cksum = ipv4_checksum(&buf[ip_start..ip_start + IPV4_LEN]);
+        buf[ip_start + 10..ip_start + 12].copy_from_slice(&cksum.to_be_bytes());
+
+        // UDP
+        buf.put_u16(self.udp_src_port);
+        buf.put_u16(ROCE_UDP_PORT);
+        buf.put_u16((total - ETH_LEN - IPV4_LEN) as u16);
+        buf.put_u16(0); // UDP checksum unused with RoCE
+
+        // BTH
+        let transport_start = buf.len();
+        buf.put_u8(self.bth.opcode.to_wire());
+        buf.put_u8(if self.bth.ack_req { 0x80 } else { 0 });
+        buf.put_u16(0xffff); // pkey: default partition
+        buf.put_u32(self.bth.dest_qp.masked()); // 8 reserved bits + 24-bit QPN
+        buf.put_u32(self.bth.psn.value()); // 8 reserved bits + 24-bit PSN
+
+        // RETH / AETH
+        if let Some(reth) = &self.reth {
+            buf.put_u64(reth.va);
+            buf.put_u32(reth.rkey.0);
+            buf.put_u32(reth.dma_len);
+        }
+        if let Some(aeth) = &self.aeth {
+            buf.put_u8(aeth.syndrome());
+            buf.put_slice(&aeth.msn.to_be_bytes()[1..4]);
+        }
+
+        buf.put_slice(&self.payload);
+
+        // ICRC over pseudo-header + transport headers + payload. Rewriting
+        // any covered field (addresses, QPN, PSN, VA, R_key, syndrome)
+        // invalidates it — the switch must recompute, as on real hardware.
+        let icrc = icrc_compute(
+            self.src_ip,
+            self.dst_ip,
+            self.udp_src_port,
+            &buf[transport_start..],
+        );
+        buf.put_u32(icrc);
+
+        debug_assert_eq!(buf.len(), total);
+        Frame::new(buf.freeze())
+    }
+
+    /// Parses an Ethernet frame as a RoCE v2 packet, verifying the IPv4
+    /// checksum and the ICRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first malformed layer. A
+    /// frame that is well-formed IPv4/UDP but not addressed to the RoCE
+    /// port yields [`ParseError::NotRoce`].
+    pub fn parse(frame: &Frame) -> Result<RocePacket, ParseError> {
+        let b = &frame.data;
+        if b.len() < BASE_OVERHEAD {
+            return Err(ParseError::TooShort);
+        }
+        let dst_mac = MacAddr(b[0..6].try_into().expect("slice len"));
+        let src_mac = MacAddr(b[6..12].try_into().expect("slice len"));
+        let ethertype = u16::from_be_bytes([b[12], b[13]]);
+        if ethertype != 0x0800 {
+            return Err(ParseError::NotIpv4);
+        }
+        let ip = &b[ETH_LEN..];
+        if ip[0] != 0x45 {
+            return Err(ParseError::NotIpv4);
+        }
+        if ip[9] != 17 {
+            return Err(ParseError::NotUdp);
+        }
+        if ipv4_checksum(&ip[..IPV4_LEN]) != 0 {
+            return Err(ParseError::BadIpChecksum);
+        }
+        let src_ip = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
+        let dst_ip = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
+
+        let udp = &b[ETH_LEN + IPV4_LEN..];
+        let udp_src_port = u16::from_be_bytes([udp[0], udp[1]]);
+        let udp_dst_port = u16::from_be_bytes([udp[2], udp[3]]);
+        if udp_dst_port != ROCE_UDP_PORT {
+            return Err(ParseError::NotRoce);
+        }
+
+        let transport_start = ETH_LEN + IPV4_LEN + UDP_LEN;
+        let bth_bytes = &b[transport_start..];
+        let opcode_raw = bth_bytes[0];
+        let opcode = Opcode::from_wire(opcode_raw).ok_or(ParseError::BadOpcode(opcode_raw))?;
+        let ack_req = bth_bytes[1] & 0x80 != 0;
+        let dest_qp = Qpn(u32::from_be_bytes([
+            0,
+            bth_bytes[5],
+            bth_bytes[6],
+            bth_bytes[7],
+        ]));
+        let psn = Psn::new(u32::from_be_bytes([
+            0,
+            bth_bytes[9],
+            bth_bytes[10],
+            bth_bytes[11],
+        ]));
+
+        let mut off = transport_start + BTH_LEN;
+        let reth = if opcode.carries_reth() {
+            if b.len() < off + RETH_LEN + ICRC_LEN {
+                return Err(ParseError::TooShort);
+            }
+            let va = u64::from_be_bytes(b[off..off + 8].try_into().expect("slice len"));
+            let rkey = RKey(u32::from_be_bytes(
+                b[off + 8..off + 12].try_into().expect("slice len"),
+            ));
+            let dma_len =
+                u32::from_be_bytes(b[off + 12..off + 16].try_into().expect("slice len"));
+            off += RETH_LEN;
+            Some(Reth { va, rkey, dma_len })
+        } else {
+            None
+        };
+        let aeth = if opcode.carries_aeth() {
+            if b.len() < off + AETH_LEN + ICRC_LEN {
+                return Err(ParseError::TooShort);
+            }
+            let syndrome = b[off];
+            let msn = u32::from_be_bytes([0, b[off + 1], b[off + 2], b[off + 3]]);
+            off += AETH_LEN;
+            Some(Aeth::from_syndrome(syndrome, msn)?)
+        } else {
+            None
+        };
+
+        if b.len() < off + ICRC_LEN {
+            return Err(ParseError::TooShort);
+        }
+        let payload = frame.data.slice(off..b.len() - ICRC_LEN);
+        let got_icrc =
+            u32::from_be_bytes(b[b.len() - ICRC_LEN..].try_into().expect("slice len"));
+        let want_icrc = icrc_compute(
+            src_ip,
+            dst_ip,
+            udp_src_port,
+            &b[transport_start..b.len() - ICRC_LEN],
+        );
+        if got_icrc != want_icrc {
+            return Err(ParseError::BadIcrc);
+        }
+
+        Ok(RocePacket {
+            src_mac,
+            dst_mac,
+            src_ip,
+            dst_ip,
+            udp_src_port,
+            bth: Bth {
+                opcode,
+                dest_qp,
+                psn,
+                ack_req,
+            },
+            reth,
+            aeth,
+            payload,
+        })
+    }
+}
+
+/// Computes the RFC-791 one's-complement checksum of an IPv4 header.
+/// Returns 0 when validating a header whose checksum field is correct.
+pub fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = header.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// The integrity checksum covering the fields RDMA endpoints verify.
+///
+/// Real RoCE uses CRC32 over the invariant fields; we use FNV-1a over a
+/// pseudo-header (addresses + source port) plus the transport bytes. The
+/// property that matters is preserved: any in-flight rewrite of a covered
+/// field forces whoever rewrote it to recompute the checksum.
+pub fn icrc_compute(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, udp_src_port: u16, transport: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in src_ip.octets() {
+        eat(b);
+    }
+    for b in dst_ip.octets() {
+        eat(b);
+    }
+    for b in udp_src_port.to_be_bytes() {
+        eat(b);
+    }
+    for &b in transport {
+        eat(b);
+    }
+    (h >> 32) as u32 ^ (h as u32)
+}
+
+/// Why a frame failed to parse as RoCE v2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Frame shorter than the mandatory headers.
+    TooShort,
+    /// Not an IPv4 packet (or has IPv4 options, which we never emit).
+    NotIpv4,
+    /// IPv4 payload is not UDP.
+    NotUdp,
+    /// IPv4 header checksum mismatch.
+    BadIpChecksum,
+    /// UDP destination port is not the RoCE port.
+    NotRoce,
+    /// Unknown BTH opcode.
+    BadOpcode(u8),
+    /// Unknown AETH syndrome encoding.
+    BadAethSyndrome(u8),
+    /// Integrity checksum mismatch (corrupt or incompletely-rewritten
+    /// packet).
+    BadIcrc,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::TooShort => write!(f, "frame too short for RoCE headers"),
+            ParseError::NotIpv4 => write!(f, "not an IPv4 packet"),
+            ParseError::NotUdp => write!(f, "not a UDP datagram"),
+            ParseError::BadIpChecksum => write!(f, "invalid IPv4 header checksum"),
+            ParseError::NotRoce => write!(f, "UDP destination is not the RoCE port"),
+            ParseError::BadOpcode(op) => write!(f, "unknown BTH opcode {op:#04x}"),
+            ParseError::BadAethSyndrome(s) => write!(f, "unknown AETH syndrome {s:#04x}"),
+            ParseError::BadIcrc => write!(f, "integrity checksum mismatch"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_write() -> RocePacket {
+        let src_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let dst_ip = Ipv4Addr::new(10, 0, 0, 2);
+        RocePacket {
+            src_mac: MacAddr::for_ip(src_ip),
+            dst_mac: MacAddr::for_ip(dst_ip),
+            src_ip,
+            dst_ip,
+            udp_src_port: 0xC000,
+            bth: Bth {
+                opcode: Opcode::WriteOnly,
+                dest_qp: Qpn(0x12345),
+                psn: Psn::new(77),
+                ack_req: true,
+            },
+            reth: Some(Reth {
+                va: 0xdead_beef_0000,
+                rkey: RKey(0xabcd_ef01),
+                dma_len: 64,
+            }),
+            aeth: None,
+            payload: Bytes::from(vec![0x5a; 64]),
+        }
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let pkt = sample_write();
+        let frame = pkt.to_frame();
+        assert_eq!(frame.len(), pkt.wire_len());
+        let back = RocePacket::parse(&frame).expect("parse");
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn ack_roundtrip_with_credits() {
+        let src_ip = Ipv4Addr::new(10, 0, 0, 2);
+        let dst_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let pkt = RocePacket {
+            src_mac: MacAddr::for_ip(src_ip),
+            dst_mac: MacAddr::for_ip(dst_ip),
+            src_ip,
+            dst_ip,
+            udp_src_port: 0xC001,
+            bth: Bth {
+                opcode: Opcode::Acknowledge,
+                dest_qp: Qpn(9),
+                psn: Psn::new(77),
+                ack_req: false,
+            },
+            reth: None,
+            aeth: Some(Aeth {
+                kind: AethKind::Ack { credits: 13 },
+                msn: 42,
+            }),
+            payload: Bytes::new(),
+        };
+        let back = RocePacket::parse(&pkt.to_frame()).expect("parse");
+        assert_eq!(back.aeth, pkt.aeth);
+        assert_eq!(back.bth.psn, pkt.bth.psn);
+    }
+
+    #[test]
+    fn nak_roundtrip() {
+        let mut pkt = sample_write();
+        pkt.bth.opcode = Opcode::Acknowledge;
+        pkt.bth.ack_req = false;
+        pkt.reth = None;
+        pkt.payload = Bytes::new();
+        for code in [
+            NakCode::PsnSequenceError,
+            NakCode::InvalidRequest,
+            NakCode::RemoteAccessError,
+            NakCode::RemoteOperationalError,
+        ] {
+            pkt.aeth = Some(Aeth {
+                kind: AethKind::Nak(code),
+                msn: 1,
+            });
+            let back = RocePacket::parse(&pkt.to_frame()).expect("parse");
+            assert_eq!(back.aeth.expect("aeth").kind, AethKind::Nak(code));
+        }
+    }
+
+    #[test]
+    fn tampering_breaks_icrc() {
+        let frame = sample_write().to_frame();
+        let mut raw = frame.data.to_vec();
+        // Flip a bit in the PSN without fixing the ICRC.
+        let psn_off = ETH_LEN + IPV4_LEN + UDP_LEN + 11;
+        raw[psn_off] ^= 1;
+        let err = RocePacket::parse(&Frame::from(raw)).expect_err("must fail");
+        assert_eq!(err, ParseError::BadIcrc);
+    }
+
+    #[test]
+    fn rewriting_and_recomputing_icrc_parses() {
+        let frame = sample_write().to_frame();
+        let mut pkt = RocePacket::parse(&frame).expect("parse");
+        pkt.bth.psn = Psn::new(1234);
+        pkt.dst_ip = Ipv4Addr::new(10, 0, 0, 9);
+        pkt.dst_mac = MacAddr::for_ip(pkt.dst_ip);
+        let reparsed = RocePacket::parse(&pkt.to_frame()).expect("reparse");
+        assert_eq!(reparsed.bth.psn, Psn::new(1234));
+    }
+
+    #[test]
+    fn short_frames_rejected() {
+        assert_eq!(
+            RocePacket::parse(&Frame::from(vec![0u8; 10])),
+            Err(ParseError::TooShort)
+        );
+    }
+
+    #[test]
+    fn non_roce_traffic_rejected_cleanly() {
+        let frame = sample_write().to_frame();
+        let mut raw = frame.data.to_vec();
+        // Break the UDP destination port.
+        let dport_off = ETH_LEN + IPV4_LEN + 2;
+        raw[dport_off] = 0;
+        raw[dport_off + 1] = 80;
+        assert_eq!(
+            RocePacket::parse(&Frame::from(raw)),
+            Err(ParseError::NotRoce)
+        );
+    }
+
+    #[test]
+    fn ip_checksum_validates() {
+        let frame = sample_write().to_frame();
+        let mut raw = frame.data.to_vec();
+        raw[ETH_LEN + 8] = 1; // corrupt the TTL
+        assert_eq!(
+            RocePacket::parse(&Frame::from(raw)),
+            Err(ParseError::BadIpChecksum)
+        );
+    }
+
+    #[test]
+    fn wire_len_accounts_for_extensions() {
+        let w = sample_write();
+        assert_eq!(w.wire_len(), BASE_OVERHEAD + RETH_LEN + 64);
+    }
+
+    #[test]
+    fn credits_clamp_at_field_width() {
+        let a = Aeth {
+            kind: AethKind::Ack { credits: 200 },
+            msn: 0,
+        };
+        assert_eq!(a.syndrome(), MAX_CREDITS);
+    }
+}

@@ -1,0 +1,287 @@
+//! Host/NIC behaviours beyond the happy path: multi-QP fairness, path
+//! migration across ports, receive-side overload and credit collapse.
+
+use bytes::Bytes;
+use netsim::{LinkSpec, SimDuration, SimTime, Simulation};
+use rdma::{
+    CmEvent, Completion, Host, HostConfig, HostOps, Permissions, Qpn, RdmaApp, RegionAdvert,
+    RegionHandle, WrId,
+};
+use std::net::Ipv4Addr;
+use tofino::{L3Forwarder, Switch, SwitchConfig};
+
+const A_IP: Ipv4Addr = Ipv4Addr::new(10, 3, 0, 1);
+const B_IP: Ipv4Addr = Ipv4Addr::new(10, 3, 0, 2);
+
+#[derive(Default)]
+struct Acceptor {
+    region: Option<RegionHandle>,
+    writes: usize,
+}
+
+impl RdmaApp for Acceptor {
+    fn on_start(&mut self, ops: &mut HostOps<'_, '_>) {
+        let r = ops.register_region(1 << 20, Permissions::WRITE);
+        ops.watch_region(r);
+        self.region = Some(r);
+    }
+    fn on_completion(&mut self, _c: Completion, _ops: &mut HostOps<'_, '_>) {}
+    fn on_cm_event(&mut self, ev: CmEvent, ops: &mut HostOps<'_, '_>) {
+        if let CmEvent::ConnectRequestReceived {
+            handshake_id,
+            from_ip,
+            from_qpn,
+            start_psn,
+            ..
+        } = ev
+        {
+            let info = ops.region_info(self.region.expect("registered"));
+            ops.accept(
+                handshake_id,
+                from_ip,
+                from_qpn,
+                start_psn,
+                RegionAdvert {
+                    va: info.va,
+                    rkey: info.rkey,
+                    len: info.len,
+                }
+                .encode(),
+            );
+        }
+    }
+    fn on_remote_write(
+        &mut self,
+        _r: RegionHandle,
+        _o: u64,
+        _l: usize,
+        _ops: &mut HostOps<'_, '_>,
+    ) {
+        self.writes += 1;
+    }
+}
+
+/// Opens `conns` connections to the same server and pumps writes on all
+/// of them.
+struct MultiConn {
+    conns: usize,
+    per_conn: u64,
+    qpns: Vec<Qpn>,
+    completions_per_qp: std::collections::BTreeMap<u32, u64>,
+    completion_order: Vec<u32>,
+}
+
+impl MultiConn {
+    fn new(conns: usize, per_conn: u64) -> Self {
+        MultiConn {
+            conns,
+            per_conn,
+            qpns: Vec::new(),
+            completions_per_qp: Default::default(),
+            completion_order: Vec::new(),
+        }
+    }
+}
+
+impl RdmaApp for MultiConn {
+    fn on_start(&mut self, ops: &mut HostOps<'_, '_>) {
+        for _ in 0..self.conns {
+            ops.connect(B_IP, Bytes::new());
+        }
+    }
+    fn on_cm_event(&mut self, ev: CmEvent, ops: &mut HostOps<'_, '_>) {
+        if let CmEvent::Connected {
+            qpn, private_data, ..
+        } = ev
+        {
+            self.qpns.push(qpn);
+            let advert = RegionAdvert::decode(&private_data).expect("advert");
+            for i in 0..self.per_conn {
+                ops.post_write(
+                    qpn,
+                    WrId((u64::from(qpn.masked()) << 32) | i),
+                    advert.va + i * 64,
+                    advert.rkey,
+                    Bytes::from(vec![1u8; 64]),
+                );
+            }
+        }
+    }
+    fn on_completion(&mut self, c: Completion, _ops: &mut HostOps<'_, '_>) {
+        if c.status.is_success() {
+            *self.completions_per_qp.entry(c.qpn.masked()).or_default() += 1;
+            self.completion_order.push(c.qpn.masked());
+        }
+    }
+}
+
+#[test]
+fn nic_serves_queue_pairs_fairly() {
+    let mut sim = Simulation::new(12);
+    let a = sim.add_node(Box::new(Host::new(
+        HostConfig::new(A_IP),
+        MultiConn::new(4, 200),
+    )));
+    let b = sim.add_node(Box::new(Host::new(HostConfig::new(B_IP), Acceptor::default())));
+    sim.connect(a, b, LinkSpec::default());
+    sim.run_until(SimTime::from_millis(10));
+
+    let app = sim.node_ref::<Host<MultiConn>>(a).app();
+    assert_eq!(app.completions_per_qp.len(), 4);
+    for (&qpn, &n) in &app.completions_per_qp {
+        assert_eq!(n, 200, "qp {qpn} completed everything");
+    }
+    // Round-robin service: within any window of the completion stream,
+    // no queue pair should dominate. Check the first half versus the
+    // second half: every QP must appear in both.
+    let half = app.completion_order.len() / 2;
+    for &qpn in app.completions_per_qp.keys() {
+        assert!(
+            app.completion_order[..half].contains(&qpn),
+            "qp {qpn} starved in the first half"
+        );
+        assert!(
+            app.completion_order[half..].contains(&qpn),
+            "qp {qpn} starved in the second half"
+        );
+    }
+}
+
+#[test]
+fn connections_migrate_to_the_arrival_path() {
+    // A is dual-homed via two switches; B likewise. A connects over
+    // fabric 1; when A switches its active port and reconnects, the new
+    // connection rides fabric 2 end to end (responses follow the arrival
+    // port).
+    struct LateConn {
+        started: bool,
+        acked: u64,
+    }
+    impl RdmaApp for LateConn {
+        fn on_start(&mut self, _ops: &mut HostOps<'_, '_>) {}
+        fn on_cm_event(&mut self, ev: CmEvent, ops: &mut HostOps<'_, '_>) {
+            if let CmEvent::Connected {
+                qpn, private_data, ..
+            } = ev
+            {
+                let advert = RegionAdvert::decode(&private_data).expect("advert");
+                ops.post_write(qpn, WrId(1), advert.va, advert.rkey, Bytes::from(vec![9u8; 64]));
+            }
+        }
+        fn on_completion(&mut self, c: Completion, _ops: &mut HostOps<'_, '_>) {
+            if c.status.is_success() {
+                self.acked += 1;
+            }
+        }
+        fn on_timer(&mut self, _t: u64, ops: &mut HostOps<'_, '_>) {
+            self.started = true;
+            ops.connect(B_IP, Bytes::new());
+        }
+    }
+
+    let mut sim = Simulation::new(13);
+    let a = sim.add_node(Box::new(Host::new(
+        HostConfig::new(A_IP),
+        LateConn {
+            started: false,
+            acked: 0,
+        },
+    )));
+    let b = sim.add_node(Box::new(Host::new(HostConfig::new(B_IP), Acceptor::default())));
+    let sw1 = sim.add_node(Box::new(Switch::new(
+        SwitchConfig::tofino1(Ipv4Addr::new(10, 3, 0, 101)),
+        2,
+        L3Forwarder,
+    )));
+    let sw2 = sim.add_node(Box::new(Switch::new(
+        SwitchConfig::tofino1(Ipv4Addr::new(10, 3, 0, 102)),
+        2,
+        L3Forwarder,
+    )));
+    // Port 0 of each host → sw1, port 1 → sw2.
+    let (_, s1a) = sim.connect(a, sw1, LinkSpec::default());
+    let (_, s1b) = sim.connect(b, sw1, LinkSpec::default());
+    let (_, s2a) = sim.connect(a, sw2, LinkSpec::default());
+    let (_, s2b) = sim.connect(b, sw2, LinkSpec::default());
+    sim.node_mut::<Switch<L3Forwarder>>(sw1).add_route(A_IP, s1a);
+    sim.node_mut::<Switch<L3Forwarder>>(sw1).add_route(B_IP, s1b);
+    sim.node_mut::<Switch<L3Forwarder>>(sw2).add_route(A_IP, s2a);
+    sim.node_mut::<Switch<L3Forwarder>>(sw2).add_route(B_IP, s2b);
+
+    // Kill fabric 1 outright: if the connection tried to ride it, it
+    // could never complete.
+    sim.set_node_down(sw1, true);
+    // Flip A to the backup port, then connect via an app action.
+    sim.with_node::<Host<LateConn>, _>(a, |host, ctx| {
+        host.with_ops(ctx, |_app, ops| {
+            ops.set_active_port(netsim::PortId::from_index(1));
+            ops.set_app_timer(SimDuration::from_micros(10), 1);
+        });
+    });
+    sim.run_until(SimTime::from_millis(10));
+
+    let app = sim.node_ref::<Host<LateConn>>(a).app();
+    assert!(app.started);
+    assert_eq!(app.acked, 1, "write completed entirely over fabric 2");
+    let writes = sim.node_ref::<Host<Acceptor>>(b).app().writes;
+    assert_eq!(writes, 1);
+}
+
+#[test]
+fn receiver_overload_collapses_credits_and_throttles() {
+    // A receiver with a deliberately slow RX engine and small buffer:
+    // the advertised credits drop under load, and the sender's window
+    // tightens (no livelock, everything still completes).
+    struct Pump {
+        total: u64,
+        acked: u64,
+        min_credits: u8,
+    }
+    impl RdmaApp for Pump {
+        fn on_start(&mut self, ops: &mut HostOps<'_, '_>) {
+            ops.connect(B_IP, Bytes::new());
+        }
+        fn on_cm_event(&mut self, ev: CmEvent, ops: &mut HostOps<'_, '_>) {
+            if let CmEvent::Connected {
+                qpn, private_data, ..
+            } = ev
+            {
+                let advert = RegionAdvert::decode(&private_data).expect("advert");
+                for i in 0..self.total {
+                    ops.post_write(qpn, WrId(i), advert.va, advert.rkey, Bytes::from(vec![1u8; 64]));
+                }
+            }
+        }
+        fn on_completion(&mut self, c: Completion, _ops: &mut HostOps<'_, '_>) {
+            if c.status.is_success() {
+                self.acked += 1;
+                self.min_credits = self.min_credits.min(c.credits);
+            }
+        }
+    }
+
+    let mut sim = Simulation::new(14);
+    let a = sim.add_node(Box::new(Host::new(
+        HostConfig::new(A_IP),
+        Pump {
+            total: 500,
+            acked: 0,
+            min_credits: 31,
+        },
+    )));
+    let mut slow = HostConfig::new(B_IP);
+    slow.rx_capacity = 4;
+    slow.nic_rx_cost = netsim::SimDuration::from_micros(2); // ~0.5 Mpps NIC
+    let b = sim.add_node(Box::new(Host::new(slow, Acceptor::default())));
+    sim.connect(a, b, LinkSpec::default());
+    sim.run_until(SimTime::from_millis(50));
+
+    let app = sim.node_ref::<Host<Pump>>(a).app();
+    assert_eq!(app.acked, 500, "flow control must not deadlock");
+    assert!(
+        app.min_credits <= 1,
+        "overloaded receiver must advertise scarcity, saw {}",
+        app.min_credits
+    );
+    assert_eq!(sim.node_ref::<Host<Acceptor>>(b).app().writes, 500);
+}

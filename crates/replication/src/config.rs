@@ -1,0 +1,135 @@
+//! Cluster membership and quorum arithmetic.
+
+use netsim::SimDuration;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A member's identifier. The paper's rule (§III): *the leader is always
+/// the live machine with the lowest identifier*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemberId(pub u8);
+
+impl fmt::Display for MemberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Static description of a replication cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// All members, as (id, address); must be sorted by id and contain no
+    /// duplicates.
+    pub members: Vec<(MemberId, Ipv4Addr)>,
+    /// Log region size per member.
+    pub log_size: usize,
+    /// Heartbeat period (100 µs in the paper, §V-E).
+    pub heartbeat_period: SimDuration,
+    /// Unchanged heartbeat reads before a member is suspected dead.
+    pub failure_threshold: u32,
+    /// Time a permission reconfiguration takes to apply (the 0.9 ms the
+    /// paper measures for a Mu leader change, §V-E).
+    pub permission_change_delay: SimDuration,
+}
+
+impl ClusterConfig {
+    /// A cluster over `addrs` (ids assigned in order) with the paper's
+    /// timing constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than 2 members or more than 127.
+    pub fn new(addrs: &[Ipv4Addr]) -> Self {
+        assert!(addrs.len() >= 2, "a cluster needs at least two members");
+        assert!(addrs.len() <= 127, "member ids are 7-bit");
+        ClusterConfig {
+            members: addrs
+                .iter()
+                .enumerate()
+                .map(|(i, &ip)| (MemberId(i as u8), ip))
+                .collect(),
+            log_size: 16 << 20,
+            heartbeat_period: SimDuration::from_micros(100),
+            failure_threshold: 5,
+            permission_change_delay: SimDuration::from_micros(900),
+        }
+    }
+
+    /// Number of members (replicas + leader).
+    pub fn n(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The quorum parameter `f`: positive acknowledgements the leader
+    /// needs from replicas so that, counting itself, strictly more than
+    /// half of the members store the value (§IV-A: "the f replicas + the
+    /// leader").
+    pub fn f(&self) -> usize {
+        self.n() / 2
+    }
+
+    /// The address of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a member.
+    pub fn addr_of(&self, id: MemberId) -> Ipv4Addr {
+        self.members
+            .iter()
+            .find(|(m, _)| *m == id)
+            .map(|&(_, ip)| ip)
+            .unwrap_or_else(|| panic!("{id} is not a cluster member"))
+    }
+
+    /// The id owning `addr`, if any.
+    pub fn id_of(&self, addr: Ipv4Addr) -> Option<MemberId> {
+        self.members
+            .iter()
+            .find(|&&(_, ip)| ip == addr)
+            .map(|&(id, _)| id)
+    }
+
+    /// All members except `me`.
+    pub fn peers_of(&self, me: MemberId) -> Vec<(MemberId, Ipv4Addr)> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&(id, _)| id != me)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: u8) -> Vec<Ipv4Addr> {
+        (0..n).map(|i| Ipv4Addr::new(10, 0, 0, i + 1)).collect()
+    }
+
+    #[test]
+    fn quorum_matches_paper() {
+        // 2 replicas + leader: f = 1; 4 replicas + leader: f = 2 (§V).
+        assert_eq!(ClusterConfig::new(&addrs(3)).f(), 1);
+        assert_eq!(ClusterConfig::new(&addrs(5)).f(), 2);
+        assert_eq!(ClusterConfig::new(&addrs(2)).f(), 1);
+        assert_eq!(ClusterConfig::new(&addrs(7)).f(), 3);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let c = ClusterConfig::new(&addrs(3));
+        assert_eq!(c.addr_of(MemberId(1)), Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(c.id_of(Ipv4Addr::new(10, 0, 0, 3)), Some(MemberId(2)));
+        assert_eq!(c.id_of(Ipv4Addr::new(9, 9, 9, 9)), None);
+        let peers = c.peers_of(MemberId(0));
+        assert_eq!(peers.len(), 2);
+        assert!(peers.iter().all(|&(id, _)| id != MemberId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_cluster_rejected() {
+        let _ = ClusterConfig::new(&addrs(1));
+    }
+}

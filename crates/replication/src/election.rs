@@ -1,0 +1,107 @@
+//! Leader election and view tracking: the live member with the lowest
+//! identifier leads (§III).
+
+use std::collections::BTreeSet;
+
+use crate::config::MemberId;
+
+/// Picks the leader for an alive set: the lowest live id.
+pub fn leader_of(alive: &BTreeSet<MemberId>) -> Option<MemberId> {
+    alive.iter().next().copied()
+}
+
+/// A detected change of leadership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewChange {
+    /// The new view number (monotonically increasing).
+    pub view: u64,
+    /// The previous leader, if any.
+    pub old: Option<MemberId>,
+    /// The new leader, if any member is alive.
+    pub new: Option<MemberId>,
+}
+
+/// Tracks the current view from successive alive-set observations.
+#[derive(Debug, Clone, Default)]
+pub struct ViewTracker {
+    view: u64,
+    leader: Option<MemberId>,
+}
+
+impl ViewTracker {
+    /// Starts with no leader at view 0.
+    pub fn new() -> Self {
+        ViewTracker::default()
+    }
+
+    /// The current view number.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// The current leader, if known.
+    pub fn leader(&self) -> Option<MemberId> {
+        self.leader
+    }
+
+    /// Feeds a fresh alive set; returns a [`ViewChange`] if leadership
+    /// moved.
+    pub fn update(&mut self, alive: &BTreeSet<MemberId>) -> Option<ViewChange> {
+        let new = leader_of(alive);
+        if new == self.leader {
+            return None;
+        }
+        self.view += 1;
+        let change = ViewChange {
+            view: self.view,
+            old: self.leader,
+            new,
+        };
+        self.leader = new;
+        Some(change)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u8]) -> BTreeSet<MemberId> {
+        ids.iter().map(|&i| MemberId(i)).collect()
+    }
+
+    #[test]
+    fn lowest_id_leads() {
+        assert_eq!(leader_of(&set(&[2, 0, 1])), Some(MemberId(0)));
+        assert_eq!(leader_of(&set(&[3, 1])), Some(MemberId(1)));
+        assert_eq!(leader_of(&set(&[])), None);
+    }
+
+    #[test]
+    fn view_changes_only_on_leader_change() {
+        let mut vt = ViewTracker::new();
+        let c = vt.update(&set(&[0, 1, 2])).expect("first leader");
+        assert_eq!(c.new, Some(MemberId(0)));
+        assert_eq!(c.view, 1);
+        // Losing a non-leader changes nothing.
+        assert!(vt.update(&set(&[0, 2])).is_none());
+        // Losing the leader promotes the next-lowest.
+        let c = vt.update(&set(&[2])).expect("leader died");
+        assert_eq!(c.old, Some(MemberId(0)));
+        assert_eq!(c.new, Some(MemberId(2)));
+        assert_eq!(c.view, 2);
+        // The old leader coming back (lower id) takes over again.
+        let c = vt.update(&set(&[0, 2])).expect("old leader revived");
+        assert_eq!(c.new, Some(MemberId(0)));
+        assert_eq!(vt.view(), 3);
+        assert_eq!(vt.leader(), Some(MemberId(0)));
+    }
+
+    #[test]
+    fn empty_alive_set_clears_leader() {
+        let mut vt = ViewTracker::new();
+        vt.update(&set(&[1]));
+        let c = vt.update(&set(&[])).expect("all dead");
+        assert_eq!(c.new, None);
+    }
+}

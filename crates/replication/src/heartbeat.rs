@@ -1,0 +1,193 @@
+//! Liveness via heartbeat counters (§III, "Decision protocol").
+//!
+//! Every member keeps a counter in RDMA-readable memory and increments it
+//! periodically; every member reads everyone else's counter at the same
+//! period. A peer whose counter stops advancing for `threshold`
+//! consecutive reads — or whose reads fail outright — is suspected dead.
+//! Heartbeats are *never* accelerated by the switch (they are a few
+//! hundred messages per second and latency-insensitive, §III-A).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::MemberId;
+
+#[derive(Debug, Clone, Copy)]
+struct PeerHealth {
+    last: u64,
+    unchanged: u32,
+    alive: bool,
+}
+
+/// Tracks peer liveness from observed heartbeat counters.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    threshold: u32,
+    peers: BTreeMap<MemberId, PeerHealth>,
+}
+
+impl FailureDetector {
+    /// A detector that declares a peer dead after `threshold` consecutive
+    /// non-advancing observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32, peers: impl IntoIterator<Item = MemberId>) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        FailureDetector {
+            threshold,
+            peers: peers
+                .into_iter()
+                .map(|id| {
+                    (
+                        id,
+                        PeerHealth {
+                            last: 0,
+                            unchanged: 0,
+                            alive: true,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Feeds one successful heartbeat read of `peer`.
+    pub fn observe(&mut self, peer: MemberId, counter: u64) {
+        let Some(h) = self.peers.get_mut(&peer) else {
+            return;
+        };
+        if counter > h.last {
+            h.last = counter;
+            h.unchanged = 0;
+            h.alive = true;
+        } else {
+            h.unchanged += 1;
+            if h.unchanged >= self.threshold {
+                h.alive = false;
+            }
+        }
+    }
+
+    /// Feeds a failed heartbeat read (transport timeout): counts as a
+    /// non-advancing observation.
+    pub fn observe_failure(&mut self, peer: MemberId) {
+        let Some(h) = self.peers.get_mut(&peer) else {
+            return;
+        };
+        h.unchanged += 1;
+        if h.unchanged >= self.threshold {
+            h.alive = false;
+        }
+    }
+
+    /// `true` if `peer` is currently believed alive (unknown peers are
+    /// dead).
+    pub fn is_alive(&self, peer: MemberId) -> bool {
+        self.peers.get(&peer).map(|h| h.alive).unwrap_or(false)
+    }
+
+    /// The set of peers currently believed alive.
+    pub fn alive_peers(&self) -> BTreeSet<MemberId> {
+        self.peers
+            .iter()
+            .filter(|(_, h)| h.alive)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+/// The local heartbeat counter a member exposes to its peers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeartbeatCounter(u64);
+
+impl HeartbeatCounter {
+    /// Starts at zero.
+    pub fn new() -> Self {
+        HeartbeatCounter(0)
+    }
+
+    /// Bumps the counter, returning the value to publish.
+    pub fn tick(&mut self) -> u64 {
+        self.0 += 1;
+        self.0
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u8) -> Vec<MemberId> {
+        (0..n).map(MemberId).collect()
+    }
+
+    #[test]
+    fn advancing_counters_stay_alive() {
+        let mut fd = FailureDetector::new(3, ids(2));
+        for v in 1..10 {
+            fd.observe(MemberId(0), v);
+            fd.observe(MemberId(1), v);
+        }
+        assert!(fd.is_alive(MemberId(0)));
+        assert_eq!(fd.alive_peers().len(), 2);
+    }
+
+    #[test]
+    fn stalled_counter_dies_after_threshold() {
+        let mut fd = FailureDetector::new(3, ids(1));
+        fd.observe(MemberId(0), 5);
+        assert!(fd.is_alive(MemberId(0)));
+        fd.observe(MemberId(0), 5);
+        fd.observe(MemberId(0), 5);
+        assert!(fd.is_alive(MemberId(0)), "two stalls < threshold");
+        fd.observe(MemberId(0), 5);
+        assert!(!fd.is_alive(MemberId(0)), "third stall kills it");
+    }
+
+    #[test]
+    fn recovery_revives_a_dead_peer() {
+        let mut fd = FailureDetector::new(2, ids(1));
+        fd.observe(MemberId(0), 1);
+        fd.observe(MemberId(0), 1);
+        fd.observe(MemberId(0), 1);
+        assert!(!fd.is_alive(MemberId(0)));
+        fd.observe(MemberId(0), 2);
+        assert!(fd.is_alive(MemberId(0)), "progress revives");
+    }
+
+    #[test]
+    fn read_failures_count_as_stalls() {
+        let mut fd = FailureDetector::new(2, ids(1));
+        fd.observe_failure(MemberId(0));
+        fd.observe_failure(MemberId(0));
+        assert!(!fd.is_alive(MemberId(0)));
+    }
+
+    #[test]
+    fn unknown_peers_are_dead_and_ignored() {
+        let mut fd = FailureDetector::new(2, ids(1));
+        fd.observe(MemberId(9), 100);
+        assert!(!fd.is_alive(MemberId(9)));
+    }
+
+    #[test]
+    fn counter_ticks_monotonically() {
+        let mut c = HeartbeatCounter::new();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let _ = FailureDetector::new(0, ids(1));
+    }
+}

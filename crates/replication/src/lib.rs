@@ -1,0 +1,30 @@
+//! # replication — the Mu decision protocol's building blocks
+//!
+//! P4CE adopts Mu's decision protocol unchanged (§III): the same leader
+//! election, view change and value-decision machinery. This crate holds
+//! those pieces, shared between the `mu` baseline and the `p4ce`
+//! replication engine:
+//!
+//! * [`ClusterConfig`] / [`MemberId`] — membership and quorum arithmetic
+//!   (`f` acknowledgements + the leader = a strict majority),
+//! * [`log`] — the byte-exact replicated log layout with torn-entry
+//!   detection (leaders append with one-sided writes; consumers poll),
+//! * [`heartbeat`] — heartbeat counters and the failure detector (100 µs
+//!   period; never switch-accelerated),
+//! * [`election`] — lowest-live-id leadership and view tracking,
+//! * [`workload`] — the arrival processes used across the evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod election;
+pub mod heartbeat;
+pub mod log;
+pub mod workload;
+
+pub use config::{ClusterConfig, MemberId};
+pub use election::{leader_of, ViewChange, ViewTracker};
+pub use heartbeat::{FailureDetector, HeartbeatCounter};
+pub use log::{decode_at, Decoded, LogEntry, LogError, LogReader, LogWriter, StateMachine};
+pub use workload::{ArrivalClock, WorkloadMode, WorkloadSpec};

@@ -1,0 +1,104 @@
+//! The packet replication engine (PRE) sitting between ingress and egress.
+//!
+//! Routing and replication decisions are taken in the ingress; copies are
+//! materialized by this engine and tagged with a per-copy *replication id*
+//! that the egress uses to tell the clones apart (§II-B). P4CE configures
+//! the replication id to be the destination replica's endpoint identifier
+//! (§IV-B).
+
+use netsim::PortId;
+use std::collections::BTreeMap;
+
+/// Identifies a multicast group inside the replication engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MulticastGroupId(pub u16);
+
+/// One copy a group produces: the physical output port and the
+/// replication id stamped on the clone's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McastMember {
+    /// Output port of this copy.
+    pub port: PortId,
+    /// Replication id delivered to the egress (P4CE: the endpoint id).
+    pub rid: u16,
+}
+
+/// The replication engine's group table. Programmed by the control plane.
+#[derive(Debug, Default)]
+pub struct MulticastGroups {
+    groups: BTreeMap<u16, Vec<McastMember>>,
+}
+
+impl MulticastGroups {
+    /// An empty table.
+    pub fn new() -> Self {
+        MulticastGroups::default()
+    }
+
+    /// Installs (or replaces) a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty — the hardware rejects empty groups.
+    pub fn set_group(&mut self, gid: MulticastGroupId, members: Vec<McastMember>) {
+        assert!(!members.is_empty(), "multicast group cannot be empty");
+        self.groups.insert(gid.0, members);
+    }
+
+    /// Removes a group. Removing an absent group is a no-op.
+    pub fn remove_group(&mut self, gid: MulticastGroupId) {
+        self.groups.remove(&gid.0);
+    }
+
+    /// The members of a group, if programmed.
+    pub fn members(&self, gid: MulticastGroupId) -> Option<&[McastMember]> {
+        self.groups.get(&gid.0).map(Vec::as_slice)
+    }
+
+    /// Number of programmed groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` if no groups are programmed.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_lookup_remove() {
+        let mut m = MulticastGroups::new();
+        assert!(m.is_empty());
+        let members = vec![
+            McastMember {
+                port: PortId::FIRST,
+                rid: 1,
+            },
+            McastMember {
+                port: PortId::FIRST,
+                rid: 2,
+            },
+        ];
+        m.set_group(MulticastGroupId(7), members.clone());
+        assert_eq!(m.members(MulticastGroupId(7)), Some(&members[..]));
+        assert_eq!(m.len(), 1);
+        // Replacement.
+        m.set_group(MulticastGroupId(7), members[..1].to_vec());
+        assert_eq!(m.members(MulticastGroupId(7)).map(|s| s.len()), Some(1));
+        m.remove_group(MulticastGroupId(7));
+        assert!(m.members(MulticastGroupId(7)).is_none());
+        m.remove_group(MulticastGroupId(7)); // idempotent
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_group_rejected() {
+        let mut m = MulticastGroups::new();
+        m.set_group(MulticastGroupId(1), vec![]);
+    }
+}

@@ -1,0 +1,122 @@
+//! The switch-program interface: what a P4 program looks like to this
+//! pipeline model.
+
+use netsim::PortId;
+use rdma::RocePacket;
+use std::net::Ipv4Addr;
+
+use crate::mcast::MulticastGroupId;
+
+/// Metadata available to the ingress stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngressMeta {
+    /// The port the packet arrived on.
+    pub ingress_port: PortId,
+}
+
+/// Metadata available to the egress stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EgressMeta {
+    /// The port this copy will leave through.
+    pub egress_port: PortId,
+    /// The replication id stamped by the multicast engine (0 for unicast).
+    pub rid: u16,
+}
+
+/// The ingress stage's routing decision. Replication decisions can only be
+/// taken here — operating on the copies happens in the egress (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressVerdict {
+    /// Forward to a single port.
+    Unicast(PortId),
+    /// Hand to the replication engine with this group.
+    Multicast(MulticastGroupId),
+    /// Punt to the control plane (slow path).
+    ToCpu,
+    /// Drop. On Tofino this consumes only the *ingress* parser of the
+    /// arriving port — the optimization §IV-D describes for ACKs.
+    Drop,
+}
+
+/// Read-only facilities available to the data-plane stages.
+pub trait PipelineOps {
+    /// L3 lookup: the output port for `ip`, if programmed.
+    fn route(&self, ip: Ipv4Addr) -> Option<PortId>;
+    /// This switch's own address.
+    fn switch_ip(&self) -> Ipv4Addr;
+}
+
+/// Facilities available to the control plane (a conventional CPU running
+/// arbitrary code — Python in the paper, Rust here).
+pub trait ControlOps {
+    /// Current simulated time.
+    fn now(&self) -> netsim::SimTime;
+    /// This switch's own address.
+    fn switch_ip(&self) -> Ipv4Addr;
+    /// L3 lookup.
+    fn route(&self, ip: Ipv4Addr) -> Option<PortId>;
+    /// Sends a packet crafted by the control plane out of the port routing
+    /// says (drops silently if unroutable).
+    fn send_packet(&mut self, pkt: RocePacket);
+    /// Arms a control-plane timer (token must fit in 56 bits).
+    fn set_timer(&mut self, after: netsim::SimDuration, token: u64);
+    /// Installs or replaces a multicast group in the replication engine.
+    fn set_mcast_group(&mut self, gid: MulticastGroupId, members: Vec<crate::mcast::McastMember>);
+    /// Removes a multicast group.
+    fn remove_mcast_group(&mut self, gid: MulticastGroupId);
+}
+
+/// A program loaded on the switch: data plane (ingress/egress, line rate)
+/// plus control plane (CPU packets, timers).
+pub trait SwitchProgram: 'static {
+    /// Called once at simulation start (control plane context).
+    fn on_start(&mut self, ops: &mut dyn ControlOps) {
+        let _ = ops;
+    }
+
+    /// The ingress pipeline: may rewrite the packet and must return a
+    /// verdict.
+    fn ingress(
+        &mut self,
+        pkt: &mut RocePacket,
+        meta: IngressMeta,
+        ops: &dyn PipelineOps,
+    ) -> IngressVerdict;
+
+    /// The egress pipeline, run per copy: may rewrite the packet; return
+    /// `false` to drop this copy (consuming the egress parser — the
+    /// expensive place to drop, per §IV-D).
+    fn egress(&mut self, pkt: &mut RocePacket, meta: EgressMeta, ops: &dyn PipelineOps) -> bool {
+        let _ = (pkt, meta, ops);
+        true
+    }
+
+    /// A packet punted by the ingress arrived at the control plane.
+    fn on_cpu_packet(&mut self, pkt: RocePacket, ops: &mut dyn ControlOps) {
+        let _ = (pkt, ops);
+    }
+
+    /// A control-plane timer fired.
+    fn on_timer(&mut self, token: u64, ops: &mut dyn ControlOps) {
+        let _ = (token, ops);
+    }
+}
+
+/// The trivial baseline program: pure L3 forwarding, no interception.
+/// This is the switch Mu runs through.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct L3Forwarder;
+
+impl SwitchProgram for L3Forwarder {
+    fn ingress(
+        &mut self,
+        pkt: &mut RocePacket,
+        _meta: IngressMeta,
+        ops: &dyn PipelineOps,
+    ) -> IngressVerdict {
+        match ops.route(pkt.dst_ip) {
+            Some(port) => IngressVerdict::Unicast(port),
+            None => IngressVerdict::Drop,
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The switch node: per-port parsers, match-action pipeline, replication
+//! engine, egress, and a control-plane CPU — with the performance limits
+//! of the real ASIC.
+//!
+//! The quantitative constraints modelled here are the ones the paper
+//! measures against (§II-B, §IV-D):
+//!
+//! * each port has its *own* ingress parser and egress parser, each capped
+//!   at ~121 M packets/s;
+//! * the match-action stages and the replication engine run at line rate
+//!   (no extra limit beyond a fixed pipeline latency);
+//! * dropping a packet in the *ingress* consumes only the arriving port's
+//!   ingress parser; letting it reach the *egress* consumes the output
+//!   port's egress parser — the difference behind the paper's 121 → 726
+//!   Mpps ACK-aggregation fix.
+
+use netsim::{Context, Cpu, Frame, Node, PortId, SimDuration, SimTime, TimerToken};
+use rdma::RocePacket;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use crate::mcast::{McastMember, MulticastGroupId, MulticastGroups};
+use crate::program::{ControlOps, EgressMeta, IngressMeta, IngressVerdict, PipelineOps, SwitchProgram};
+
+/// Static parameters of the switch.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// The switch's own IP address (P4CE connections target it).
+    pub ip: Ipv4Addr,
+    /// Per-packet occupancy of each parser: 1/121 Mpps ≈ 8 ns (§IV-D).
+    pub parser_cost: SimDuration,
+    /// Tail-drop threshold, in packets of backlog, per parser.
+    pub parser_queue_limit: u64,
+    /// Fixed traversal latency of the match-action stages + traffic
+    /// manager.
+    pub pipeline_latency: SimDuration,
+    /// Latency of punting a packet to the control-plane CPU and running
+    /// the handler (slow path; §IV-A notes this is fine because
+    /// connections are rare).
+    pub cpu_punt_latency: SimDuration,
+}
+
+impl SwitchConfig {
+    /// A first-generation Tofino with the paper's constants.
+    pub fn tofino1(ip: Ipv4Addr) -> Self {
+        SwitchConfig {
+            ip,
+            // 121 M packets/s per parser → 8.26 ns; rounded to 8 ns.
+            parser_cost: SimDuration::from_nanos(8),
+            parser_queue_limit: 512,
+            pipeline_latency: SimDuration::from_nanos(400),
+            cpu_punt_latency: SimDuration::from_micros(20),
+        }
+    }
+}
+
+/// Counters for tests and reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwitchStats {
+    /// Unicast packets forwarded.
+    pub forwarded: u64,
+    /// Copies produced by the replication engine.
+    pub multicast_copies: u64,
+    /// Packets dropped by an ingress verdict.
+    pub dropped_ingress: u64,
+    /// Copies dropped by the egress stage.
+    pub dropped_egress: u64,
+    /// Packets dropped because a parser queue overflowed.
+    pub parser_overflow_drops: u64,
+    /// Packets punted to the control plane.
+    pub punted: u64,
+    /// Frames that failed to parse.
+    pub parse_errors: u64,
+}
+
+const TK_INGRESS: u64 = 1 << 56;
+const TK_EGRESS: u64 = 2 << 56;
+const TK_EMIT: u64 = 3 << 56;
+const TK_CPU: u64 = 4 << 56;
+const TK_CTRL: u64 = 5 << 56;
+const TK_CLASS_MASK: u64 = 0xff << 56;
+const TK_DATA_MASK: u64 = !TK_CLASS_MASK;
+
+#[derive(Debug)]
+enum Stashed {
+    RawFrame(Frame, PortId),
+    AtEgress(RocePacket, PortId, u16),
+    ForCpu(RocePacket),
+}
+
+struct Shared {
+    cfg: SwitchConfig,
+    routes: BTreeMap<u32, PortId>,
+    mcast: MulticastGroups,
+    stats: SwitchStats,
+}
+
+impl PipelineOps for Shared {
+    fn route(&self, ip: Ipv4Addr) -> Option<PortId> {
+        self.routes.get(&u32::from(ip)).copied()
+    }
+    fn switch_ip(&self) -> Ipv4Addr {
+        self.cfg.ip
+    }
+}
+
+struct Control<'a, 'c> {
+    shared: &'a mut Shared,
+    ctx: &'a mut Context<'c>,
+}
+
+impl ControlOps for Control<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+    fn switch_ip(&self) -> Ipv4Addr {
+        self.shared.cfg.ip
+    }
+    fn route(&self, ip: Ipv4Addr) -> Option<PortId> {
+        self.shared.routes.get(&u32::from(ip)).copied()
+    }
+    fn send_packet(&mut self, pkt: RocePacket) {
+        if let Some(port) = self.route(pkt.dst_ip) {
+            self.ctx.send(port, pkt.to_frame());
+        }
+    }
+    fn set_timer(&mut self, after: SimDuration, token: u64) {
+        debug_assert_eq!(token & TK_CLASS_MASK, 0, "control timer token too large");
+        self.ctx.schedule(after, TimerToken(TK_CTRL | token));
+    }
+    fn set_mcast_group(&mut self, gid: MulticastGroupId, members: Vec<McastMember>) {
+        self.shared.mcast.set_group(gid, members);
+    }
+    fn remove_mcast_group(&mut self, gid: MulticastGroupId) {
+        self.shared.mcast.remove_group(gid);
+    }
+}
+
+/// A programmable switch running program `P`.
+pub struct Switch<P: SwitchProgram> {
+    shared: Shared,
+    program: P,
+    ingress_parsers: Vec<Cpu>,
+    egress_parsers: Vec<Cpu>,
+    stash: HashMap<u64, Stashed>,
+    next_stash: u64,
+}
+
+impl<P: SwitchProgram> Switch<P> {
+    /// Builds a switch with `ports` ports running `program`.
+    pub fn new(cfg: SwitchConfig, ports: usize, program: P) -> Self {
+        Switch {
+            shared: Shared {
+                cfg,
+                routes: BTreeMap::new(),
+                mcast: MulticastGroups::new(),
+                stats: SwitchStats::default(),
+            },
+            program,
+            ingress_parsers: vec![Cpu::new(); ports],
+            egress_parsers: vec![Cpu::new(); ports],
+            stash: HashMap::new(),
+            next_stash: 0,
+        }
+    }
+
+    /// Programs the L3 table: packets for `ip` leave through `port`.
+    pub fn add_route(&mut self, ip: Ipv4Addr, port: PortId) {
+        self.shared.routes.insert(u32::from(ip), port);
+    }
+
+    /// The loaded program (for post-run inspection).
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Mutable access to the loaded program.
+    pub fn program_mut(&mut self) -> &mut P {
+        &mut self.program
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.shared.stats
+    }
+
+    /// The switch's IP address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.shared.cfg.ip
+    }
+
+    fn stash_put(&mut self, item: Stashed) -> u64 {
+        let id = self.next_stash;
+        self.next_stash = (self.next_stash + 1) & TK_DATA_MASK;
+        self.stash.insert(id, item);
+        id
+    }
+
+    /// Charges a parser for one packet; `None` means tail drop.
+    fn parser_admit(parser: &mut Cpu, now: SimTime, cfg: &SwitchConfig) -> Option<SimTime> {
+        let backlog_ns = parser.busy_until().saturating_duration_since(now).as_nanos();
+        let backlog_pkts = backlog_ns / cfg.parser_cost.as_nanos().max(1);
+        if backlog_pkts >= cfg.parser_queue_limit {
+            return None;
+        }
+        Some(parser.run(now, cfg.parser_cost))
+    }
+
+    fn run_ingress(&mut self, frame: Frame, port: PortId, ctx: &mut Context<'_>) {
+        let mut pkt = match RocePacket::parse(&frame) {
+            Ok(p) => p,
+            Err(_) => {
+                self.shared.stats.parse_errors += 1;
+                return;
+            }
+        };
+        let meta = IngressMeta { ingress_port: port };
+        let verdict = self.program.ingress(&mut pkt, meta, &self.shared);
+        match verdict {
+            IngressVerdict::Drop => {
+                self.shared.stats.dropped_ingress += 1;
+            }
+            IngressVerdict::Unicast(out) => {
+                let id = self.stash_put(Stashed::AtEgress(pkt, out, 0));
+                ctx.schedule(self.shared.cfg.pipeline_latency, TimerToken(TK_EGRESS | id));
+            }
+            IngressVerdict::Multicast(gid) => {
+                let members: Vec<McastMember> = self
+                    .shared
+                    .mcast
+                    .members(gid)
+                    .map(|m| m.to_vec())
+                    .unwrap_or_default();
+                if members.is_empty() {
+                    self.shared.stats.dropped_ingress += 1;
+                    return;
+                }
+                for m in members {
+                    self.shared.stats.multicast_copies += 1;
+                    let id = self.stash_put(Stashed::AtEgress(pkt.clone(), m.port, m.rid));
+                    ctx.schedule(self.shared.cfg.pipeline_latency, TimerToken(TK_EGRESS | id));
+                }
+            }
+            IngressVerdict::ToCpu => {
+                self.shared.stats.punted += 1;
+                let id = self.stash_put(Stashed::ForCpu(pkt));
+                ctx.schedule(self.shared.cfg.cpu_punt_latency, TimerToken(TK_CPU | id));
+            }
+        }
+    }
+}
+
+impl<P: SwitchProgram> Node for Switch<P> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let mut ops = Control {
+            shared: &mut self.shared,
+            ctx,
+        };
+        self.program.on_start(&mut ops);
+    }
+
+    fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut Context<'_>) {
+        let parser = &mut self.ingress_parsers[port.index()];
+        match Self::parser_admit(parser, ctx.now, &self.shared.cfg) {
+            None => {
+                self.shared.stats.parser_overflow_drops += 1;
+            }
+            Some(parsed_at) => {
+                let id = self.stash_put(Stashed::RawFrame(frame, port));
+                ctx.schedule_at(parsed_at, TimerToken(TK_INGRESS | id));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_>) {
+        let class = token.0 & TK_CLASS_MASK;
+        let data = token.0 & TK_DATA_MASK;
+        match class {
+            TK_INGRESS => {
+                let Some(Stashed::RawFrame(frame, port)) = self.stash.remove(&data) else {
+                    return;
+                };
+                self.run_ingress(frame, port, ctx);
+            }
+            TK_EGRESS => {
+                let Some(Stashed::AtEgress(pkt, port, rid)) = self.stash.remove(&data) else {
+                    return;
+                };
+                let parser = &mut self.egress_parsers[port.index()];
+                match Self::parser_admit(parser, ctx.now, &self.shared.cfg) {
+                    None => {
+                        self.shared.stats.parser_overflow_drops += 1;
+                    }
+                    Some(done) => {
+                        let id = self.stash_put(Stashed::AtEgress(pkt, port, rid));
+                        ctx.schedule_at(done, TimerToken(TK_EMIT | id));
+                    }
+                }
+            }
+            TK_EMIT => {
+                let Some(Stashed::AtEgress(mut pkt, port, rid)) = self.stash.remove(&data) else {
+                    return;
+                };
+                let meta = EgressMeta {
+                    egress_port: port,
+                    rid,
+                };
+                if self.program.egress(&mut pkt, meta, &self.shared) {
+                    self.shared.stats.forwarded += 1;
+                    // The deparser re-serializes, recomputing checksums
+                    // over whatever the pipeline rewrote.
+                    ctx.send(port, pkt.to_frame());
+                } else {
+                    self.shared.stats.dropped_egress += 1;
+                }
+            }
+            TK_CPU => {
+                let Some(Stashed::ForCpu(pkt)) = self.stash.remove(&data) else {
+                    return;
+                };
+                let mut ops = Control {
+                    shared: &mut self.shared,
+                    ctx,
+                };
+                self.program.on_cpu_packet(pkt, &mut ops);
+            }
+            TK_CTRL => {
+                let mut ops = Control {
+                    shared: &mut self.shared,
+                    ctx,
+                };
+                self.program.on_timer(data, &mut ops);
+            }
+            _ => {}
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("switch {}", self.shared.cfg.ip)
+    }
+}

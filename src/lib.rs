@@ -1,0 +1,14 @@
+//! Umbrella crate for the P4CE reproduction workspace.
+//!
+//! Hosts the cross-crate integration tests (in `tests/`) and the runnable
+//! examples (in `examples/`). Re-exports every workspace crate so examples
+//! can use a single dependency root.
+
+pub use mu;
+pub use netsim;
+pub use p4ce;
+pub use p4ce_harness as harness;
+pub use p4ce_switch;
+pub use rdma;
+pub use replication;
+pub use tofino;

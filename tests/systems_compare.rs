@@ -1,0 +1,108 @@
+//! Cross-system integration tests: Mu and P4CE side by side, the paper's
+//! headline claims as assertions.
+
+use netsim::SimDuration;
+use p4ce_harness::{run_point, PointConfig, System};
+use replication::WorkloadSpec;
+
+fn rate_of(system: System, replicas: usize) -> f64 {
+    let mut cfg = PointConfig::new(system, replicas, WorkloadSpec::closed(16, 64, 0));
+    cfg.window = SimDuration::from_millis(10);
+    run_point(&cfg).ops_per_sec
+}
+
+#[test]
+fn p4ce_doubles_mu_with_two_replicas() {
+    let mu = rate_of(System::Mu, 2);
+    let p4ce = rate_of(System::P4ce, 2);
+    let speedup = p4ce / mu;
+    // Paper §V-C: ≈ 1.9×.
+    assert!(
+        (1.7..=2.3).contains(&speedup),
+        "speedup {speedup:.2} out of the paper's band"
+    );
+}
+
+#[test]
+fn p4ce_quadruples_mu_with_four_replicas() {
+    let mu = rate_of(System::Mu, 4);
+    let p4ce = rate_of(System::P4ce, 4);
+    let speedup = p4ce / mu;
+    // Paper §V-C: ≈ 3.8×.
+    assert!(
+        (3.4..=4.4).contains(&speedup),
+        "speedup {speedup:.2} out of the paper's band"
+    );
+}
+
+#[test]
+fn p4ce_rate_is_independent_of_replica_count() {
+    let two = rate_of(System::P4ce, 2);
+    let four = rate_of(System::P4ce, 4);
+    let ratio = two / four;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "P4CE must not slow down with replicas: {two:.0} vs {four:.0}"
+    );
+    // And it is in the paper's 2.3 M/s ballpark.
+    assert!(
+        (2.0e6..=2.6e6).contains(&two),
+        "P4CE max rate {two:.0} outside the paper's ballpark"
+    );
+}
+
+#[test]
+fn mu_latency_explodes_past_saturation_p4ce_does_not() {
+    let measure = |system, rate| {
+        let mut cfg = PointConfig::new(system, 2, WorkloadSpec::open_loop(rate, 64, 0));
+        cfg.window = SimDuration::from_millis(8);
+        cfg.warmup = SimDuration::from_millis(3);
+        run_point(&cfg)
+    };
+    // 1.4 M/s offered: beyond Mu's ≈1.2 M/s capacity, well inside
+    // P4CE's.
+    let mu = measure(System::Mu, 1.4e6);
+    let p4ce = measure(System::P4ce, 1.4e6);
+    assert!(
+        mu.mean_latency_us > 20.0 * p4ce.mean_latency_us,
+        "Mu {mu:.1?} vs P4CE {p4ce:.1?}: the saturation gap must be dramatic"
+    );
+    assert!(p4ce.mean_latency_us < 5.0, "P4CE stays flat");
+}
+
+#[test]
+fn goodput_ratio_matches_replica_count_at_large_values() {
+    let goodput = |system, replicas| {
+        let mut cfg = PointConfig::new(system, replicas, WorkloadSpec::closed(16, 8192, 0));
+        cfg.window = SimDuration::from_millis(10);
+        run_point(&cfg).goodput_bytes_per_sec
+    };
+    let mu2 = goodput(System::Mu, 2);
+    let p4ce2 = goodput(System::P4ce, 2);
+    let mu4 = goodput(System::Mu, 4);
+    let p4ce4 = goodput(System::P4ce, 4);
+    let r2 = p4ce2 / mu2;
+    let r4 = p4ce4 / mu4;
+    assert!((1.8..=2.2).contains(&r2), "2-replica goodput ratio {r2:.2}");
+    assert!((3.6..=4.4).contains(&r4), "4-replica goodput ratio {r4:.2}");
+    // P4CE saturates the 100 Gbit/s link (≈11 GB/s goodput).
+    assert!(p4ce2 > 10.5e9, "P4CE goodput {p4ce2:.2e} below line rate");
+}
+
+#[test]
+fn burst_latency_halves_under_p4ce() {
+    let latency = |system| {
+        let mut cfg = PointConfig::new(system, 2, WorkloadSpec::closed(100, 64, 0));
+        cfg.window = SimDuration::from_millis(10);
+        run_point(&cfg).mean_latency_us
+    };
+    let mu = latency(System::Mu);
+    let p4ce = latency(System::P4ce);
+    let ratio = mu / p4ce;
+    // Paper §V-D: "P4CE's latency is half that of Mu when handling
+    // bursts of 100 requests."
+    assert!(
+        (1.8..=2.2).contains(&ratio),
+        "burst-100 latency ratio {ratio:.2} (Mu {mu:.1} µs, P4CE {p4ce:.1} µs)"
+    );
+}
