@@ -34,8 +34,7 @@ fn bench_sim(c: &mut Criterion) {
             &system,
             |b, &system| {
                 b.iter(|| {
-                    let mut cfg =
-                        PointConfig::new(system, 2, Spec::closed(16, 64, 0));
+                    let mut cfg = PointConfig::new(system, 2, Spec::closed(16, 64, 0));
                     cfg.window = SimDuration::from_millis(5);
                     cfg.warmup = SimDuration::from_millis(1);
                     run_point(&cfg).decided

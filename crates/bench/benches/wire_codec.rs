@@ -39,16 +39,12 @@ fn bench_codec(c: &mut Criterion) {
         let pkt = sample(payload);
         let frame = pkt.to_frame();
         group.throughput(Throughput::Bytes(frame.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("serialize", payload),
-            &pkt,
-            |b, pkt| b.iter(|| pkt.to_frame()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("parse", payload),
-            &frame,
-            |b, frame| b.iter(|| RocePacket::parse(frame).expect("valid")),
-        );
+        group.bench_with_input(BenchmarkId::new("serialize", payload), &pkt, |b, pkt| {
+            b.iter(|| pkt.to_frame())
+        });
+        group.bench_with_input(BenchmarkId::new("parse", payload), &frame, |b, frame| {
+            b.iter(|| RocePacket::parse(frame).expect("valid"))
+        });
         group.bench_with_input(
             BenchmarkId::new("rewrite_roundtrip", payload),
             &frame,

@@ -5,7 +5,7 @@
 use netsim::{LinkSpec, NodeId, SimDuration, Simulation};
 use p4ce_switch::{AckDropStage, P4ceProgram, P4ceSwitchConfig};
 use rdma::{Host, HostConfig};
-use replication::{ClusterConfig, MemberId, WorkloadSpec};
+use replication::{ClusterConfig, MemberId, ProtocolTiming, WorkloadSpec};
 use std::net::Ipv4Addr;
 use tofino::{L3Forwarder, Switch, SwitchConfig};
 
@@ -37,6 +37,7 @@ pub struct ClusterBuilder {
     verb_cost: Option<SimDuration>,
     tweak_rx_capacity: Vec<(usize, usize)>,
     tweak_rx_cost: Vec<(usize, SimDuration)>,
+    timing: Option<ProtocolTiming>,
 }
 
 impl ClusterBuilder {
@@ -59,6 +60,7 @@ impl ClusterBuilder {
             verb_cost: None,
             tweak_rx_capacity: Vec::new(),
             tweak_rx_cost: Vec::new(),
+            timing: None,
         }
     }
 
@@ -113,6 +115,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Overrides the link-management and failure-detection timing (chaos
+    /// tests tighten these to provoke reconnects quickly).
+    pub fn timing(mut self, timing: ProtocolTiming) -> Self {
+        self.timing = Some(timing);
+        self
+    }
+
     /// Overrides the switch's per-parser packet cost (scaled-down parser
     /// budgets for the §IV-D ablation).
     pub fn parser_cost(mut self, cost: SimDuration) -> Self {
@@ -146,7 +155,10 @@ impl ClusterBuilder {
         let member_ip = |i: usize| Ipv4Addr::new(10, 0, 0, 1 + i as u8);
         let switch_ip = Ipv4Addr::new(10, 0, 0, 100);
         let ips: Vec<Ipv4Addr> = (0..self.n_members).map(member_ip).collect();
-        let cluster = ClusterConfig::new(&ips);
+        let mut cluster = ClusterConfig::new(&ips);
+        if let Some(timing) = self.timing {
+            cluster.timing = timing;
+        }
         let mut sim = Simulation::new(self.seed);
 
         let mut members = Vec::new();
@@ -260,7 +272,9 @@ impl Deployment {
 
     /// The P4CE switch program, for stats.
     pub fn switch_program(&self) -> &P4ceProgram {
-        self.sim.node_ref::<Switch<P4ceProgram>>(self.switch).program()
+        self.sim
+            .node_ref::<Switch<P4ceProgram>>(self.switch)
+            .program()
     }
 
     /// Crashes member `i` (process + NIC power-off).

@@ -55,4 +55,6 @@ pub use member::{MemberEvent, MemberStats, P4ceMember, P4ceMemberConfig};
 // Re-export the pieces users need to drive a deployment.
 pub use netsim;
 pub use p4ce_switch::{AckDropStage, CreditMode, P4ceProgram, P4ceSwitchConfig};
-pub use replication::{ClusterConfig, LogEntry, MemberId, StateMachine, WorkloadMode, WorkloadSpec};
+pub use replication::{
+    ClusterConfig, LogEntry, MemberId, StateMachine, WorkloadMode, WorkloadSpec,
+};

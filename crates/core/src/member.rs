@@ -25,8 +25,8 @@ use rdma::{
     RegionHandle, RejectReason, WrId,
 };
 use replication::{
-    ArrivalClock, ClusterConfig, FailureDetector, HeartbeatCounter, LogReader, LogWriter,
-    MemberId, ViewTracker, WorkloadMode, WorkloadSpec,
+    ArrivalClock, ClusterConfig, FailureDetector, HeartbeatCounter, LogReader, LogWriter, MemberId,
+    ViewTracker, WorkloadMode, WorkloadSpec,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::net::Ipv4Addr;
@@ -179,6 +179,10 @@ pub struct P4ceMember {
     views: ViewTracker,
     writer: LogWriter,
     reader: LogReader,
+    /// Seq the next state-machine application must carry: an epoch
+    /// rebuild replays the log from the head, and entries below this
+    /// mark were already applied (exactly-once application).
+    next_apply_seq: u64,
     // Links.
     hb_links: BTreeMap<MemberId, HbLink>,
     direct_links: BTreeMap<MemberId, DirectLink>,
@@ -217,10 +221,16 @@ pub struct P4ceMember {
 impl P4ceMember {
     /// Builds the member application.
     pub fn new(cfg: P4ceMemberConfig) -> Self {
-        let peers: Vec<MemberId> = cfg.cluster.peers_of(cfg.id).iter().map(|&(id, _)| id).collect();
+        let peers: Vec<MemberId> = cfg
+            .cluster
+            .peers_of(cfg.id)
+            .iter()
+            .map(|&(id, _)| id)
+            .collect();
         let detector = FailureDetector::new(cfg.cluster.failure_threshold, peers.iter().copied());
         let hb_links = peers.iter().map(|&id| (id, HbLink::new())).collect();
         let log_size = cfg.cluster.log_size;
+        let detector_grace = cfg.cluster.timing.detector_grace_ticks;
         P4ceMember {
             cfg,
             log_region: None,
@@ -231,6 +241,7 @@ impl P4ceMember {
             views: ViewTracker::new(),
             writer: LogWriter::new(log_size),
             reader: LogReader::new(),
+            next_apply_seq: 0,
             hb_links,
             direct_links: BTreeMap::new(),
             handshake_peer: HashMap::new(),
@@ -251,7 +262,7 @@ impl P4ceMember {
             workload_started: false,
             payload_proto: Bytes::new(),
             failed_over: false,
-            detector_grace: 10,
+            detector_grace,
             state_machine: None,
             stats: MemberStats::default(),
         }
@@ -371,6 +382,7 @@ impl P4ceMember {
                 self.detector.observe(*peer, last);
             }
         }
+        let timing = self.cfg.cluster.timing;
         for peer in peers {
             let link = self.hb_links.get_mut(&peer).expect("known peer");
             match link.state {
@@ -393,7 +405,7 @@ impl P4ceMember {
                 LinkState::Idle => self.connect_hb(peer, ops),
                 LinkState::Dead => {
                     link.reconnect_backoff += 1;
-                    if link.reconnect_backoff >= 10 {
+                    if link.reconnect_backoff >= timing.link_redial_ticks {
                         link.reconnect_backoff = 0;
                         self.connect_hb(peer, ops);
                     }
@@ -402,8 +414,8 @@ impl P4ceMember {
                     // A handshake that never completes (its packets died
                     // with the fabric) must be abandoned and retried.
                     link.reconnect_backoff += 1;
-                    if link.reconnect_backoff >= 30 {
-                        link.reconnect_backoff = 8; // retry soon
+                    if link.reconnect_backoff >= timing.link_abandon_ticks {
+                        link.reconnect_backoff = timing.link_retry_soon_ticks;
                         link.state = LinkState::Dead;
                     }
                 }
@@ -476,8 +488,7 @@ impl P4ceMember {
                     .count();
                 if group_alive < self.group_members.len() {
                     // Rebuild with the survivors.
-                    self.stats
-                        .event(ops.now(), MemberEvent::CommRebuildStarted);
+                    self.stats.event(ops.now(), MemberEvent::CommRebuildStarted);
                     if !self.cfg.async_reconfig {
                         // The paper's implementation pauses replication
                         // until the switch is reconfigured.
@@ -500,23 +511,25 @@ impl P4ceMember {
                             ops.destroy_qp(qpn);
                         }
                     }
-                    self.stats.event(ops.now(), MemberEvent::ReplicaExcluded { id });
+                    self.stats
+                        .event(ops.now(), MemberEvent::ReplicaExcluded { id });
                 }
                 // Self-healing: (re)connect to replicas that are alive
                 // but unlinked, e.g. after a path fail-over.
+                let timing = self.cfg.cluster.timing;
                 for peer in alive {
                     let needs_connect = match self.direct_links.get_mut(&peer) {
                         None => true,
                         Some(l) if l.state == LinkState::Dead => {
                             l.retry_backoff += 1;
-                            l.retry_backoff >= 10
+                            l.retry_backoff >= timing.link_redial_ticks
                         }
                         Some(l) if l.state == LinkState::Connecting => {
                             // Abandon handshakes that died with the fabric.
                             l.retry_backoff += 1;
-                            if l.retry_backoff >= 30 {
+                            if l.retry_backoff >= timing.link_abandon_ticks {
                                 l.state = LinkState::Dead;
-                                l.retry_backoff = 8;
+                                l.retry_backoff = timing.link_retry_soon_ticks;
                             }
                             false
                         }
@@ -536,8 +549,10 @@ impl P4ceMember {
         self.comm = Comm::Down;
         self.workload_started = false;
         self.first_decision_pending = true;
-        self.stats.event(ops.now(), MemberEvent::BecameLeader { view });
-        self.writer.resume(self.reader.offset(), self.reader.consumed());
+        self.stats
+            .event(ops.now(), MemberEvent::BecameLeader { view });
+        self.writer
+            .resume(self.reader.offset(), self.reader.consumed());
         self.request_group(ops);
         ops.set_app_timer(self.cfg.reaccel_period, T_REACCEL);
     }
@@ -622,12 +637,7 @@ impl P4ceMember {
         ops.set_app_timer(self.cfg.reaccel_period, T_REACCEL);
     }
 
-    fn on_group_established(
-        &mut self,
-        qpn: Qpn,
-        advert: RegionAdvert,
-        ops: &mut HostOps<'_, '_>,
-    ) {
+    fn on_group_established(&mut self, qpn: Qpn, advert: RegionAdvert, ops: &mut HostOps<'_, '_>) {
         self.switch_handshake = None;
         // Drop the direct path: the accelerated one replaces it.
         for link in self.direct_links.values_mut() {
@@ -852,7 +862,13 @@ impl P4ceMember {
                 // One write to the switch replaces n writes to replicas:
                 // the virtual VA is zero-based, so the log offset is the
                 // address (§IV-A).
-                ops.post_write(qpn, WrId(WR_SWITCH | entry.seq), at as u64, advert.rkey, bytes);
+                ops.post_write(
+                    qpn,
+                    WrId(WR_SWITCH | entry.seq),
+                    at as u64,
+                    advert.rkey,
+                    bytes,
+                );
             }
             Comm::Fallback => {
                 let links: Vec<(MemberId, Qpn, RegionAdvert)> = self
@@ -959,7 +975,9 @@ impl P4ceMember {
                 self.stats.throughput.reset(now);
                 self.stats.latency.clear();
             } else if self.stats.decided > spec.warmup_requests {
-                self.stats.latency.record(now.saturating_duration_since(arrived));
+                self.stats
+                    .latency
+                    .record(now.saturating_duration_since(arrived));
                 self.stats.throughput.record(size as u64);
             }
             if matches!(spec.mode, WorkloadMode::Closed { .. })
@@ -1036,8 +1054,7 @@ impl P4ceMember {
         // Permission changes cost 0.9 ms — but only when the epoch's
         // grants actually change (a leader adding a second path, e.g. the
         // switch group next to direct connections, pays nothing extra).
-        let delay = if self.epoch_leader == Some(leader_ip) && self.granted_ips.contains(&from_ip)
-        {
+        let delay = if self.epoch_leader == Some(leader_ip) && self.granted_ips.contains(&from_ip) {
             SimDuration::ZERO
         } else {
             self.cfg.cluster.permission_change_delay
@@ -1157,7 +1174,10 @@ impl P4ceMember {
             self.switch_handshake = None;
             if self.i_am_leader && !matches!(self.comm, Comm::Accelerated(_)) {
                 self.comm = Comm::Down;
-                ops.set_app_timer(SimDuration::from_micros(500), T_RECONNECT | 0xff);
+                ops.set_app_timer(
+                    self.cfg.cluster.timing.group_retry_delay,
+                    T_RECONNECT | 0xff,
+                );
             }
             return;
         }
@@ -1170,13 +1190,12 @@ impl P4ceMember {
                     link.state = LinkState::Dead;
                 }
             }
-            KIND_REPLICATION
-                if self.i_am_leader => {
-                    ops.set_app_timer(
-                        SimDuration::from_micros(200),
-                        T_RECONNECT | u64::from(peer.0),
-                    );
-                }
+            KIND_REPLICATION if self.i_am_leader => {
+                ops.set_app_timer(
+                    self.cfg.cluster.timing.replica_reconnect_delay,
+                    T_RECONNECT | u64::from(peer.0),
+                );
+            }
             _ => {}
         }
     }
@@ -1306,9 +1325,15 @@ impl RdmaApp for P4ceMember {
             let log = ops.read_local(region, 0, log_size);
             self.reader.drain(log).unwrap_or_default()
         };
-        self.stats.applied += entries.len() as u64;
-        if let Some(sm) = &mut self.state_machine {
-            for entry in &entries {
+        for entry in &entries {
+            // Epoch rebuilds replay the log from the head; skip what
+            // this member already applied so application is exactly-once.
+            if entry.seq < self.next_apply_seq {
+                continue;
+            }
+            self.next_apply_seq = entry.seq + 1;
+            self.stats.applied += 1;
+            if let Some(sm) = &mut self.state_machine {
                 sm.apply(entry);
             }
         }
@@ -1338,7 +1363,7 @@ impl RdmaApp for P4ceMember {
                 for link in self.hb_links.values_mut() {
                     link.state = LinkState::Idle;
                 }
-                self.detector_grace = 10;
+                self.detector_grace = self.cfg.cluster.timing.detector_grace_ticks;
                 if self.i_am_leader {
                     // Revert to manual replication over the new route; the
                     // reaccel probe will look for a P4CE switch later.

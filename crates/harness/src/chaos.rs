@@ -1,0 +1,467 @@
+//! Link-level chaos: seeded random fault schedules run against whole
+//! clusters, with safety invariants checked after the storm and
+//! liveness demanded after the heal.
+//!
+//! The runner builds a cluster, lets it reach steady state, installs a
+//! [`FaultPlan`] on **both directions** of every member↔switch primary
+//! link (loss, duplication, reordering, jitter, corruption — plus one
+//! time-bounded partition isolating a single member), keeps proposing
+//! values to whichever member claims operational leadership, heals the
+//! links, and then verifies:
+//!
+//! * **agreement** — every member applied a prefix of the same decided
+//!   sequence, byte for byte,
+//! * **unique leadership** — no two members ever reported operational
+//!   leadership for the same view,
+//! * **liveness** — callers assert `decided_final > decided_at_heal`,
+//! * **determinism** — the run is a pure function of the [`ChaosSpec`]:
+//!   rerunning the same spec reproduces the [`ChaosReport`] exactly.
+
+use bytes::Bytes;
+use mu::MemberEvent;
+use netsim::{FaultPlan, FaultStats, NodeId, PortId, SimDuration, SimTime, Simulation};
+use rdma::Host;
+use replication::{LogEntry, StateMachine};
+
+/// Everything a chaos run perturbs, derived deterministically from one
+/// seed by [`ChaosSpec::seeded`]. All instants are offsets from the
+/// storm start (the moment fault plans are installed), so the same spec
+/// can be replayed regardless of how long cluster setup took.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// Simulation seed; also seeds the per-link schedule derivation.
+    pub seed: u64,
+    /// Per-frame loss probability on every faulted link.
+    pub loss: f64,
+    /// Per-frame duplication probability (before per-link scaling).
+    pub duplicate: f64,
+    /// Per-frame reordering probability (before per-link scaling).
+    pub reorder: f64,
+    /// How far a reordered frame may be held back.
+    pub reorder_window: SimDuration,
+    /// Uniform extra delay bound added to every frame.
+    pub jitter: SimDuration,
+    /// Per-frame payload-corruption probability (before scaling).
+    pub corrupt: f64,
+    /// The member whose switch links suffer the transient partition
+    /// (never member 0, so the steady-state leader stays reachable).
+    pub partition_member: usize,
+    /// Partition start, as an offset from storm start.
+    pub partition_from: SimDuration,
+    /// Partition end, as an offset from storm start.
+    pub partition_until: SimDuration,
+    /// How long the fault plans stay installed.
+    pub storm: SimDuration,
+    /// Post-heal window during which the cluster must decide again.
+    pub drain: SimDuration,
+    /// Gap between chaos-client proposal attempts.
+    pub propose_every: SimDuration,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl ChaosSpec {
+    /// Draws a random-but-reproducible schedule for an `n_members`
+    /// cluster: at least 1% loss, a mix of the other fault types, and
+    /// one partition isolating a random non-leader member mid-storm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_members < 2`.
+    pub fn seeded(seed: u64, n_members: usize) -> ChaosSpec {
+        assert!(n_members >= 2, "a cluster needs at least two members");
+        let mut s = seed;
+        let loss = 0.01 + 0.03 * unit(&mut s);
+        let duplicate = 0.01 * unit(&mut s);
+        let reorder = 0.15 * unit(&mut s);
+        let reorder_window = SimDuration::from_nanos(500 + splitmix(&mut s) % 2500);
+        let jitter = SimDuration::from_nanos(splitmix(&mut s) % 300);
+        let corrupt = 0.002 * unit(&mut s);
+        let partition_member = 1 + (splitmix(&mut s) as usize) % (n_members - 1);
+        let from_us = 1_500 + splitmix(&mut s) % 1_000;
+        let len_us = 1_500 + splitmix(&mut s) % 1_000;
+        ChaosSpec {
+            seed,
+            loss,
+            duplicate,
+            reorder,
+            reorder_window,
+            jitter,
+            corrupt,
+            partition_member,
+            partition_from: SimDuration::from_micros(from_us),
+            partition_until: SimDuration::from_micros(from_us + len_us),
+            storm: SimDuration::from_millis(8),
+            drain: SimDuration::from_millis(5),
+            propose_every: SimDuration::from_micros(20),
+        }
+    }
+}
+
+/// What a chaos run observed. Two runs of the same [`ChaosSpec`] must
+/// produce equal reports — that equality *is* the determinism check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Proposal attempts the chaos client made.
+    pub proposals_attempted: u64,
+    /// Attempts the contacted leader accepted.
+    pub proposals_accepted: u64,
+    /// Highest decided count across members at the heal instant.
+    pub decided_at_heal: u64,
+    /// Highest decided count across members at run end.
+    pub decided_final: u64,
+    /// Shortest applied-log length across the steady-state replicas
+    /// (members `1..n`) at run end — the leader applies nothing through
+    /// the remote-write path, so it is excluded.
+    pub applied_min: usize,
+    /// FNV-1a digest over every member's applied (seq, payload) log.
+    pub log_hash: u64,
+    /// Total simulator events processed (replay fingerprint).
+    pub events_processed: u64,
+    /// Frames the loss plans removed from the wire.
+    pub frames_dropped: u64,
+    /// Frames delivered twice.
+    pub frames_duplicated: u64,
+    /// Frames delivered with a flipped bit.
+    pub frames_corrupted: u64,
+    /// Frames dropped inside the partition window.
+    pub partition_dropped: u64,
+    /// Packets retransmitted by the hosts' retransmission timers
+    /// (`QueuePair::check_timeout` firing).
+    pub timeout_retransmits: u64,
+    /// Packets retransmitted in response to peer NAKs
+    /// (`QueuePair::handle_nak` firing).
+    pub nak_retransmits: u64,
+    /// Frames the hosts discarded as unparseable (corruption landing).
+    pub parse_drops: u64,
+    /// Deduplicated `(view, member)` pairs that claimed leadership
+    /// (`BecameLeader` on the P4CE member, plus `LeaderOperational` on
+    /// Mu's) — at most one member per view, by assertion.
+    pub leader_views: Vec<(u64, u8)>,
+}
+
+/// Records every applied entry, for post-run agreement checks.
+#[derive(Default)]
+pub struct ChaosRecorder {
+    /// Applied sequence numbers, in application order.
+    pub seqs: Vec<u64>,
+    /// Applied payloads, in application order.
+    pub payloads: Vec<Vec<u8>>,
+}
+
+impl StateMachine for ChaosRecorder {
+    fn apply(&mut self, entry: &LogEntry) {
+        self.seqs.push(entry.seq);
+        self.payloads.push(entry.payload.to_vec());
+    }
+}
+
+/// The per-direction plan for one member's switch link. Loss stays at
+/// the spec's floor on every link; the other probabilities get a
+/// per-direction scale so no two links misbehave identically.
+fn link_plan(spec: &ChaosSpec, member: usize, reverse: bool, storm_start: SimTime) -> FaultPlan {
+    let mut s = spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (((member as u64) << 1) | u64::from(reverse));
+    let scale = 0.5 + unit(&mut s);
+    let mut plan = FaultPlan::new()
+        .loss(spec.loss)
+        .duplicate(spec.duplicate * scale)
+        .reorder(spec.reorder * scale, spec.reorder_window)
+        .jitter(spec.jitter)
+        .corrupt(spec.corrupt * scale);
+    if member == spec.partition_member {
+        plan = plan.partition(
+            storm_start + spec.partition_from,
+            storm_start + spec.partition_until,
+        );
+    }
+    plan
+}
+
+fn install_storm(sim: &mut Simulation, members: &[NodeId], spec: &ChaosSpec, storm_start: SimTime) {
+    let primary = PortId::from_index(0);
+    for (i, &m) in members.iter().enumerate() {
+        sim.set_fault_plan(m, primary, link_plan(spec, i, false, storm_start));
+        let (sw, swp) = sim.peer_of(m, primary);
+        sim.set_fault_plan(sw, swp, link_plan(spec, i, true, storm_start));
+    }
+}
+
+fn clear_storm(sim: &mut Simulation, members: &[NodeId]) {
+    let primary = PortId::from_index(0);
+    for &m in members {
+        sim.clear_fault_plan(m, primary);
+        let (sw, swp) = sim.peer_of(m, primary);
+        sim.clear_fault_plan(sw, swp);
+    }
+}
+
+/// Sums injected-fault counters over both directions of every member
+/// link (counters survive `clear_fault_plan`).
+fn fault_totals(sim: &Simulation, members: &[NodeId]) -> FaultStats {
+    let primary = PortId::from_index(0);
+    let mut total = FaultStats::default();
+    for &m in members {
+        let (sw, swp) = sim.peer_of(m, primary);
+        for s in [sim.fault_stats(m, primary), sim.fault_stats(sw, swp)] {
+            total.dropped += s.dropped;
+            total.partition_dropped += s.partition_dropped;
+            total.duplicated += s.duplicated;
+            total.reordered += s.reordered;
+            total.corrupted += s.corrupted;
+        }
+    }
+    total
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn assert_prefix_agreement(logs: &[(Vec<u64>, Vec<Vec<u8>>)]) {
+    for a in 0..logs.len() {
+        for b in (a + 1)..logs.len() {
+            let n = logs[a].0.len().min(logs[b].0.len());
+            assert_eq!(
+                &logs[a].0[..n],
+                &logs[b].0[..n],
+                "members {a} and {b} disagree on decided sequence numbers"
+            );
+            assert_eq!(
+                &logs[a].1[..n],
+                &logs[b].1[..n],
+                "members {a} and {b} disagree on decided payloads"
+            );
+        }
+    }
+}
+
+fn assert_unique_leader_per_view(leader_views: &[(u64, u8)]) {
+    for (i, &(view, member)) in leader_views.iter().enumerate() {
+        for &(v2, m2) in &leader_views[..i] {
+            assert!(
+                view != v2 || member == m2,
+                "two operational leaders (members {member} and {m2}) in view {view}"
+            );
+        }
+    }
+}
+
+/// The run itself, shared between the P4CE and Mu deployments — both
+/// expose the same member/with_member/sim surface, only the concrete
+/// application type differs.
+macro_rules! chaos_body {
+    ($spec:ident, $n:ident, $d:ident, $app:ty) => {{
+        for i in 0..$n {
+            $d.member_mut(i)
+                .set_state_machine(Box::new(ChaosRecorder::default()));
+        }
+        let setup_deadline = $d.sim.now() + SimDuration::from_millis(300);
+        while $d.sim.now() < setup_deadline && !$d.member(0).is_operational_leader() {
+            $d.sim.run_for(SimDuration::from_millis(1));
+        }
+        assert!(
+            $d.member(0).is_operational_leader(),
+            "cluster never reached steady state"
+        );
+
+        let storm_start = $d.sim.now();
+        install_storm(&mut $d.sim, &$d.members, $spec, storm_start);
+
+        let mut attempted = 0u64;
+        let mut accepted = 0u64;
+        let mut next_value = 0u64;
+        let heal_at = storm_start + $spec.storm;
+        while $d.sim.now() < heal_at {
+            $d.sim.run_for($spec.propose_every);
+            if let Some(l) = (0..$n).find(|&i| $d.member(i).is_operational_leader()) {
+                attempted += 1;
+                let payload = Bytes::from(next_value.to_be_bytes().to_vec());
+                next_value += 1;
+                if $d.with_member(l, move |m, ops| m.propose_value(payload, ops)) {
+                    accepted += 1;
+                }
+            }
+        }
+
+        clear_storm(&mut $d.sim, &$d.members);
+        let decided_at_heal = (0..$n)
+            .map(|i| $d.member(i).stats.decided)
+            .max()
+            .unwrap_or(0);
+
+        let drain_until = $d.sim.now() + $spec.drain;
+        while $d.sim.now() < drain_until {
+            $d.sim.run_for($spec.propose_every);
+            if let Some(l) = (0..$n).find(|&i| $d.member(i).is_operational_leader()) {
+                attempted += 1;
+                let payload = Bytes::from(next_value.to_be_bytes().to_vec());
+                next_value += 1;
+                if $d.with_member(l, move |m, ops| m.propose_value(payload, ops)) {
+                    accepted += 1;
+                }
+            }
+        }
+        // Let replicas catch up on applying the tail.
+        $d.sim.run_for(SimDuration::from_millis(2));
+
+        let logs: Vec<(Vec<u64>, Vec<Vec<u8>>)> = (0..$n)
+            .map(|i| {
+                let rec = $d
+                    .member(i)
+                    .state_machine()
+                    .and_then(|sm| (sm as &dyn std::any::Any).downcast_ref::<ChaosRecorder>())
+                    .expect("recorder installed");
+                (rec.seqs.clone(), rec.payloads.clone())
+            })
+            .collect();
+        assert_prefix_agreement(&logs);
+
+        let mut leader_views: Vec<(u64, u8)> = Vec::new();
+        for i in 0..$n {
+            for (_, ev) in &$d.member(i).stats.events {
+                if let MemberEvent::BecameLeader { view }
+                | MemberEvent::LeaderOperational { view } = ev
+                {
+                    let entry = (*view, i as u8);
+                    if !leader_views.contains(&entry) {
+                        leader_views.push(entry);
+                    }
+                }
+            }
+        }
+        assert_unique_leader_per_view(&leader_views);
+
+        let injected = fault_totals(&$d.sim, &$d.members);
+        let mut timeout_retransmits = 0;
+        let mut nak_retransmits = 0;
+        let mut parse_drops = 0;
+        for &node in &$d.members {
+            let s = $d.sim.node_ref::<Host<$app>>(node).stats();
+            timeout_retransmits += s.timeout_retransmits;
+            nak_retransmits += s.nak_retransmits;
+            parse_drops += s.parse_drops;
+        }
+        let decided_final = (0..$n)
+            .map(|i| $d.member(i).stats.decided)
+            .max()
+            .unwrap_or(0);
+        let applied_min = logs.iter().skip(1).map(|(s, _)| s.len()).min().unwrap_or(0);
+        let mut log_hash = 0xcbf2_9ce4_8422_2325u64;
+        for (seqs, payloads) in &logs {
+            for (seq, payload) in seqs.iter().zip(payloads) {
+                fnv1a(&mut log_hash, &seq.to_be_bytes());
+                fnv1a(&mut log_hash, payload);
+            }
+        }
+
+        ChaosReport {
+            proposals_attempted: attempted,
+            proposals_accepted: accepted,
+            decided_at_heal,
+            decided_final,
+            applied_min,
+            log_hash,
+            events_processed: $d.sim.events_processed(),
+            frames_dropped: injected.dropped,
+            frames_duplicated: injected.duplicated,
+            frames_corrupted: injected.corrupted,
+            partition_dropped: injected.partition_dropped,
+            timeout_retransmits,
+            nak_retransmits,
+            parse_drops,
+            leader_views,
+        }
+    }};
+}
+
+/// Runs a seeded chaos schedule against an `n_members` P4CE cluster.
+///
+/// # Panics
+///
+/// Panics if the cluster never accelerates, or if agreement /
+/// unique-leadership is violated — the panic *is* the test failure.
+pub fn run_p4ce(spec: &ChaosSpec, n_members: usize) -> ChaosReport {
+    let mut d = p4ce::ClusterBuilder::new(n_members).seed(spec.seed).build();
+    let accel_deadline = d.sim.now() + SimDuration::from_millis(300);
+    while d.sim.now() < accel_deadline
+        && !(d.leader().is_operational_leader() && d.leader().is_accelerated())
+    {
+        d.sim.run_for(SimDuration::from_millis(1));
+    }
+    assert!(
+        d.leader().is_accelerated(),
+        "cluster must accelerate before the storm"
+    );
+    let n = n_members;
+    chaos_body!(spec, n, d, p4ce::P4ceMember)
+}
+
+/// Runs a seeded chaos schedule against an `n_members` Mu cluster.
+///
+/// # Panics
+///
+/// Same contract as [`run_p4ce`], minus the acceleration requirement.
+pub fn run_mu(spec: &ChaosSpec, n_members: usize) -> ChaosReport {
+    let mut d = mu::ClusterBuilder::new(n_members).seed(spec.seed).build();
+    let n = n_members;
+    chaos_body!(spec, n, d, mu::MuMember)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_specs_are_reproducible_and_bounded() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let a = ChaosSpec::seeded(seed, 3);
+            let b = ChaosSpec::seeded(seed, 3);
+            assert_eq!(a, b, "same seed, same spec");
+            assert!(a.loss >= 0.01, "loss floor is 1%");
+            assert!(a.loss <= 0.04);
+            assert!(a.partition_member >= 1 && a.partition_member < 3);
+            assert!(a.partition_from < a.partition_until);
+            assert!(
+                a.partition_until <= a.storm,
+                "partition must heal before (or with) the storm"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_draw_different_schedules() {
+        let a = ChaosSpec::seeded(1, 5);
+        let b = ChaosSpec::seeded(2, 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn partition_lands_only_on_the_chosen_member() {
+        let spec = ChaosSpec::seeded(7, 5);
+        let start = SimTime::from_micros(100);
+        for member in 0..5 {
+            for reverse in [false, true] {
+                let plan = link_plan(&spec, member, reverse, start);
+                assert_eq!(
+                    !plan.partitions.is_empty(),
+                    member == spec.partition_member,
+                    "member {member} reverse {reverse}"
+                );
+            }
+        }
+    }
+}

@@ -55,11 +55,7 @@ pub fn run(
     let mut rows = Vec::new();
     for &stage in &[AckDropStage::Ingress, AckDropStage::Egress] {
         for &replicas in replica_counts {
-            let mut cfg = PointConfig::new(
-                System::P4ce,
-                replicas,
-                WorkloadSpec::closed(16, 64, 0),
-            );
+            let mut cfg = PointConfig::new(System::P4ce, replicas, WorkloadSpec::closed(16, 64, 0));
             cfg.window = window;
             cfg.parser_cost = Some(parser_cost);
             cfg.ack_drop = stage;

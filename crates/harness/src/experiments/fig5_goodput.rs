@@ -29,7 +29,13 @@ pub struct GoodputRow {
 
 impl TableRow for GoodputRow {
     fn headers() -> Vec<&'static str> {
-        vec!["system", "replicas", "value_size_B", "goodput_GBps", "consensus_per_s"]
+        vec![
+            "system",
+            "replicas",
+            "value_size_B",
+            "goodput_GBps",
+            "consensus_per_s",
+        ]
     }
     fn cells(&self) -> Vec<String> {
         vec![
@@ -53,11 +59,7 @@ pub fn run(sizes: &[usize], replica_counts: &[usize], window: SimDuration) -> Ve
     for &replicas in replica_counts {
         for &system in &[System::Mu, System::P4ce] {
             for &size in sizes {
-                let mut cfg = PointConfig::new(
-                    system,
-                    replicas,
-                    WorkloadSpec::closed(16, size, 0),
-                );
+                let mut cfg = PointConfig::new(system, replicas, WorkloadSpec::closed(16, size, 0));
                 cfg.window = window;
                 let out = run_point(&cfg);
                 rows.push(GoodputRow {

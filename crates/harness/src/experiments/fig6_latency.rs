@@ -64,11 +64,8 @@ pub fn run(rates: &[f64], replica_counts: &[usize], window: SimDuration) -> Vec<
     for &replicas in replica_counts {
         for &system in &[System::Mu, System::P4ce] {
             for &rate in rates {
-                let mut cfg = PointConfig::new(
-                    system,
-                    replicas,
-                    WorkloadSpec::open_loop(rate, 64, 0),
-                );
+                let mut cfg =
+                    PointConfig::new(system, replicas, WorkloadSpec::open_loop(rate, 64, 0));
                 cfg.window = window;
                 cfg.warmup = SimDuration::from_millis(3);
                 let out = run_point(&cfg);

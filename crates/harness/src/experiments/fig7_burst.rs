@@ -57,11 +57,8 @@ pub fn run(bursts: &[usize], replica_counts: &[usize], window: SimDuration) -> V
     for &replicas in replica_counts {
         for &system in &[System::Mu, System::P4ce] {
             for &burst in bursts {
-                let mut cfg = PointConfig::new(
-                    system,
-                    replicas,
-                    WorkloadSpec::closed(burst, 64, 0),
-                );
+                let mut cfg =
+                    PointConfig::new(system, replicas, WorkloadSpec::closed(burst, 64, 0));
                 cfg.window = window;
                 let out = run_point(&cfg);
                 rows.push(BurstRow {

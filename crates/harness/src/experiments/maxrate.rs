@@ -42,8 +42,7 @@ pub fn run(replica_counts: &[usize], window: SimDuration) -> Vec<MaxRateRow> {
     let mut rows = Vec::new();
     for &replicas in replica_counts {
         let measure = |system| {
-            let mut cfg =
-                PointConfig::new(system, replicas, WorkloadSpec::closed(16, 64, 0));
+            let mut cfg = PointConfig::new(system, replicas, WorkloadSpec::closed(16, 64, 0));
             cfg.window = window;
             run_point(&cfg).ops_per_sec
         };

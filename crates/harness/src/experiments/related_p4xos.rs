@@ -64,7 +64,11 @@ pub struct P4xosRow {
 
 impl TableRow for P4xosRow {
     fn headers() -> Vec<&'static str> {
-        vec!["rate_per_s", "p4xos_latency_us(model)", "p4ce_latency_us(measured)"]
+        vec![
+            "rate_per_s",
+            "p4xos_latency_us(model)",
+            "p4ce_latency_us(measured)",
+        ]
     }
     fn cells(&self) -> Vec<String> {
         vec![
@@ -83,8 +87,7 @@ pub fn run(rates: &[f64], window: SimDuration) -> Vec<P4xosRow> {
     rates
         .iter()
         .map(|&rate| {
-            let mut cfg =
-                PointConfig::new(System::P4ce, 2, WorkloadSpec::open_loop(rate, 64, 0));
+            let mut cfg = PointConfig::new(System::P4ce, 2, WorkloadSpec::open_loop(rate, 64, 0));
             cfg.window = window;
             let out = run_point(&cfg);
             P4xosRow {

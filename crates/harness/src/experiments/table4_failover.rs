@@ -34,7 +34,13 @@ pub struct FailoverRow {
 
 impl TableRow for FailoverRow {
     fn headers() -> Vec<&'static str> {
-        vec!["scenario", "system", "detection_ms", "recovery_ms", "total_ms"]
+        vec![
+            "scenario",
+            "system",
+            "detection_ms",
+            "recovery_ms",
+            "total_ms",
+        ]
     }
     fn cells(&self) -> Vec<String> {
         vec![
@@ -90,7 +96,9 @@ fn rebuild_mu(d: &mut mu::Deployment, t0: SimTime) -> FailoverRow {
         .expect("rebuild started");
     let done = leader
         .stats
-        .event_time_after(started, |e| matches!(e, mu::MemberEvent::LeaderOperational { .. }))
+        .event_time_after(started, |e| {
+            matches!(e, mu::MemberEvent::LeaderOperational { .. })
+        })
         .expect("rebuild finished");
     FailoverRow {
         scenario: "new communication group",
@@ -127,10 +135,9 @@ fn rebuild_p4ce(d: &mut p4ce::Deployment, t0: SimTime) -> FailoverRow {
 }
 
 fn trigger_rebuild_mu(d: &mut mu::Deployment, node: netsim::NodeId) {
-    d.sim
-        .with_node::<Host<mu::MuMember>, _>(node, |host, ctx| {
-            host.with_ops(ctx, |member, ops| member.force_rebuild_comm(ops));
-        });
+    d.sim.with_node::<Host<mu::MuMember>, _>(node, |host, ctx| {
+        host.with_ops(ctx, |member, ops| member.force_rebuild_comm(ops));
+    });
 }
 
 /// Scenario 2: a replica crashes.
@@ -167,15 +174,11 @@ pub fn crashed_replica(system: System) -> FailoverRow {
             let leader = d.leader();
             let started = leader
                 .stats
-                .event_time_after(t_kill, |e| {
-                    matches!(e, mu::MemberEvent::CommRebuildStarted)
-                })
+                .event_time_after(t_kill, |e| matches!(e, mu::MemberEvent::CommRebuildStarted))
                 .expect("rebuild started");
             let done = leader
                 .stats
-                .event_time_after(started, |e| {
-                    matches!(e, mu::MemberEvent::GroupEstablished)
-                })
+                .event_time_after(started, |e| matches!(e, mu::MemberEvent::GroupEstablished))
                 .expect("group rebuilt");
             FailoverRow {
                 scenario: "crashed replica",
@@ -200,7 +203,9 @@ pub fn crashed_leader(system: System) -> FailoverRow {
             let new_leader = d.member(1);
             let became = new_leader
                 .stats
-                .event_time_after(t_kill, |e| matches!(e, mu::MemberEvent::BecameLeader { .. }))
+                .event_time_after(t_kill, |e| {
+                    matches!(e, mu::MemberEvent::BecameLeader { .. })
+                })
                 .expect("took over");
             let first = new_leader
                 .stats
@@ -219,7 +224,9 @@ pub fn crashed_leader(system: System) -> FailoverRow {
             let new_leader = d.member(1);
             let became = new_leader
                 .stats
-                .event_time_after(t_kill, |e| matches!(e, mu::MemberEvent::BecameLeader { .. }))
+                .event_time_after(t_kill, |e| {
+                    matches!(e, mu::MemberEvent::BecameLeader { .. })
+                })
                 .expect("took over");
             let first = new_leader
                 .stats

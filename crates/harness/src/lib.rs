@@ -19,9 +19,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 
+pub use chaos::{ChaosRecorder, ChaosReport, ChaosSpec};
 pub use report::{print_markdown, to_csv, to_markdown, write_csv, TableRow};
 pub use runner::{run_point, PointConfig, PointOutcome, System};

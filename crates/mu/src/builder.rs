@@ -3,7 +3,7 @@
 
 use netsim::{LinkSpec, NodeId, SimDuration, Simulation};
 use rdma::{Host, HostConfig};
-use replication::{ClusterConfig, MemberId, WorkloadSpec};
+use replication::{ClusterConfig, MemberId, ProtocolTiming, WorkloadSpec};
 use std::net::Ipv4Addr;
 use tofino::{L3Forwarder, Switch, SwitchConfig};
 
@@ -31,6 +31,7 @@ pub struct ClusterBuilder {
     seed: u64,
     verb_cost: Option<SimDuration>,
     tweak_rx_capacity: Vec<(usize, usize)>,
+    timing: Option<ProtocolTiming>,
 }
 
 impl ClusterBuilder {
@@ -49,6 +50,7 @@ impl ClusterBuilder {
             seed: 42,
             verb_cost: None,
             tweak_rx_capacity: Vec::new(),
+            timing: None,
         }
     }
 
@@ -76,6 +78,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Overrides the link-management and failure-detection timing (chaos
+    /// tests tighten these to provoke reconnects quickly).
+    pub fn timing(mut self, timing: ProtocolTiming) -> Self {
+        self.timing = Some(timing);
+        self
+    }
+
     /// Shrinks member `i`'s NIC receive capacity.
     pub fn member_rx_capacity(mut self, member: usize, capacity: usize) -> Self {
         self.tweak_rx_capacity.push((member, capacity));
@@ -93,7 +102,10 @@ impl ClusterBuilder {
         let member_ip = |i: usize| Ipv4Addr::new(10, 0, 0, 1 + i as u8);
         let switch_ip = Ipv4Addr::new(10, 0, 0, 100);
         let ips: Vec<Ipv4Addr> = (0..self.n_members).map(member_ip).collect();
-        let cluster = ClusterConfig::new(&ips);
+        let mut cluster = ClusterConfig::new(&ips);
+        if let Some(timing) = self.timing {
+            cluster.timing = timing;
+        }
         let mut sim = Simulation::new(self.seed);
 
         let mut members = Vec::new();

@@ -23,8 +23,8 @@ use rdma::{
     RegionHandle, RejectReason, WrId,
 };
 use replication::{
-    ArrivalClock, ClusterConfig, FailureDetector, HeartbeatCounter, LogReader, LogWriter,
-    MemberId, ViewTracker, WorkloadMode, WorkloadSpec,
+    ArrivalClock, ClusterConfig, FailureDetector, HeartbeatCounter, LogReader, LogWriter, MemberId,
+    ViewTracker, WorkloadMode, WorkloadSpec,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
@@ -151,6 +151,10 @@ pub struct MuMember {
     views: ViewTracker,
     writer: LogWriter,
     reader: LogReader,
+    /// Seq the next state-machine application must carry: an epoch
+    /// rebuild replays the log from the head, and entries below this
+    /// mark were already applied (exactly-once application).
+    next_apply_seq: u64,
     // Links.
     hb_links: BTreeMap<MemberId, HbLink>,
     repl_links: BTreeMap<MemberId, ReplLink>,
@@ -183,10 +187,16 @@ pub struct MuMember {
 impl MuMember {
     /// Builds the member application.
     pub fn new(cfg: MuMemberConfig) -> Self {
-        let peers: Vec<MemberId> = cfg.cluster.peers_of(cfg.id).iter().map(|&(id, _)| id).collect();
+        let peers: Vec<MemberId> = cfg
+            .cluster
+            .peers_of(cfg.id)
+            .iter()
+            .map(|&(id, _)| id)
+            .collect();
         let detector = FailureDetector::new(cfg.cluster.failure_threshold, peers.iter().copied());
         let hb_links = peers.iter().map(|&id| (id, HbLink::new())).collect();
         let log_size = cfg.cluster.log_size;
+        let detector_grace = cfg.cluster.timing.detector_grace_ticks;
         MuMember {
             cfg,
             log_region: None,
@@ -197,6 +207,7 @@ impl MuMember {
             views: ViewTracker::new(),
             writer: LogWriter::new(log_size),
             reader: LogReader::new(),
+            next_apply_seq: 0,
             hb_links,
             repl_links: BTreeMap::new(),
             handshake_peer: HashMap::new(),
@@ -212,7 +223,7 @@ impl MuMember {
             workload_started: false,
             payload_proto: Bytes::new(),
             failed_over: false,
-            detector_grace: 10,
+            detector_grace,
             state_machine: None,
             stats: MemberStats::default(),
         }
@@ -308,6 +319,7 @@ impl MuMember {
             }
         }
         // Issue this round's reads and drive reconnects.
+        let timing = self.cfg.cluster.timing;
         for peer in peers {
             let link = self.hb_links.get_mut(&peer).expect("known peer");
             match link.state {
@@ -330,7 +342,7 @@ impl MuMember {
                 LinkState::Idle => self.connect_hb(peer, ops),
                 LinkState::Dead => {
                     link.reconnect_backoff += 1;
-                    if link.reconnect_backoff >= 10 {
+                    if link.reconnect_backoff >= timing.link_redial_ticks {
                         link.reconnect_backoff = 0;
                         self.connect_hb(peer, ops);
                     }
@@ -339,8 +351,8 @@ impl MuMember {
                     // A handshake that never completes (its packets died
                     // with the fabric) must be abandoned and retried.
                     link.reconnect_backoff += 1;
-                    if link.reconnect_backoff >= 30 {
-                        link.reconnect_backoff = 8; // retry soon
+                    if link.reconnect_backoff >= timing.link_abandon_ticks {
+                        link.reconnect_backoff = timing.link_retry_soon_ticks;
                         link.state = LinkState::Dead;
                     }
                 }
@@ -415,7 +427,8 @@ impl MuMember {
                     ops.destroy_qp(qpn);
                 }
             }
-            self.stats.event(ops.now(), MemberEvent::ReplicaExcluded { id });
+            self.stats
+                .event(ops.now(), MemberEvent::ReplicaExcluded { id });
         }
         // Self-healing: replicas that are alive again (e.g. after a path
         // fail-over) get their replication link re-established.
@@ -426,6 +439,7 @@ impl MuMember {
             .iter()
             .map(|&(id, _)| id)
             .collect();
+        let timing = self.cfg.cluster.timing;
         for peer in peers {
             if !self.detector.is_alive(peer) {
                 continue;
@@ -434,14 +448,14 @@ impl MuMember {
                 None => true,
                 Some(link) if link.state == LinkState::Dead => {
                     link.retry_backoff += 1;
-                    link.retry_backoff >= 10
+                    link.retry_backoff >= timing.link_redial_ticks
                 }
                 Some(link) if link.state == LinkState::Connecting => {
                     // Abandon handshakes that died with the fabric.
                     link.retry_backoff += 1;
-                    if link.retry_backoff >= 30 {
+                    if link.retry_backoff >= timing.link_abandon_ticks {
                         link.state = LinkState::Dead;
-                        link.retry_backoff = 8;
+                        link.retry_backoff = timing.link_retry_soon_ticks;
                     }
                     false
                 }
@@ -492,9 +506,11 @@ impl MuMember {
         self.operational = false;
         self.workload_started = false;
         self.first_decision_pending = true;
-        self.stats.event(ops.now(), MemberEvent::BecameLeader { view });
+        self.stats
+            .event(ops.now(), MemberEvent::BecameLeader { view });
         // Continue the log from what we consumed as a replica.
-        self.writer.resume(self.reader.offset(), self.reader.consumed());
+        self.writer
+            .resume(self.reader.offset(), self.reader.consumed());
         // Open replication connections to every live replica.
         self.repl_links.clear();
         let peers: Vec<(MemberId, Ipv4Addr)> = self.cfg.cluster.peers_of(self.cfg.id);
@@ -526,8 +542,12 @@ impl MuMember {
     fn maybe_operational(&mut self, ops: &mut HostOps<'_, '_>) {
         if self.i_am_leader && !self.operational && self.ready_links() >= self.cfg.cluster.f() {
             self.operational = true;
-            self.stats
-                .event(ops.now(), MemberEvent::LeaderOperational { view: self.views.view() });
+            self.stats.event(
+                ops.now(),
+                MemberEvent::LeaderOperational {
+                    view: self.views.view(),
+                },
+            );
         }
         // Benchmark hygiene: the workload starts once every *live*
         // replica is wired up, so early entries reach everyone.
@@ -710,7 +730,13 @@ impl MuMember {
         }
     }
 
-    fn on_repl_completion(&mut self, peer: MemberId, seq: u64, c: &Completion, ops: &mut HostOps<'_, '_>) {
+    fn on_repl_completion(
+        &mut self,
+        peer: MemberId,
+        seq: u64,
+        c: &Completion,
+        ops: &mut HostOps<'_, '_>,
+    ) {
         if !c.status.is_success() {
             // The replica (or the path to it) failed: exclude it.
             if let Some(link) = self.repl_links.get_mut(&peer) {
@@ -777,7 +803,9 @@ impl MuMember {
                 self.stats.throughput.reset(now);
                 self.stats.latency.clear();
             } else if self.stats.decided > spec.warmup_requests {
-                self.stats.latency.record(now.saturating_duration_since(arrived));
+                self.stats
+                    .latency
+                    .record(now.saturating_duration_since(arrived));
                 self.stats.throughput.record(size as u64);
             }
             // Closed loop: a decision frees a slot.
@@ -965,7 +993,7 @@ impl MuMember {
                 // The replica has not adopted us yet: retry shortly.
                 if self.i_am_leader => {
                     ops.set_app_timer(
-                        SimDuration::from_micros(200),
+                        self.cfg.cluster.timing.replica_reconnect_delay,
                         T_RECONNECT | u64::from(peer.0),
                     );
                 }
@@ -1085,9 +1113,15 @@ impl RdmaApp for MuMember {
             let log = ops.read_local(region, 0, log_size);
             self.reader.drain(log).unwrap_or_default()
         };
-        self.stats.applied += entries.len() as u64;
-        if let Some(sm) = &mut self.state_machine {
-            for entry in &entries {
+        for entry in &entries {
+            // Epoch rebuilds replay the log from the head; skip what
+            // this member already applied so application is exactly-once.
+            if entry.seq < self.next_apply_seq {
+                continue;
+            }
+            self.next_apply_seq = entry.seq + 1;
+            self.stats.applied += 1;
+            if let Some(sm) = &mut self.state_machine {
                 sm.apply(entry);
             }
         }

@@ -91,10 +91,7 @@ impl MemberStats {
 
     /// The instant of the first event matching `pred`, if any.
     pub fn event_time(&self, pred: impl Fn(&MemberEvent) -> bool) -> Option<SimTime> {
-        self.events
-            .iter()
-            .find(|(_, e)| pred(e))
-            .map(|&(t, _)| t)
+        self.events.iter().find(|(_, e)| pred(e)).map(|&(t, _)| t)
     }
 
     /// The instant of the first event matching `pred` at or after

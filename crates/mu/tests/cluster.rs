@@ -83,7 +83,8 @@ fn leader_crash_elects_next_lowest() {
     let kill_at = tc.sim.now();
     let m0 = tc.members[0];
     tc.sim.set_node_down(m0, true);
-    tc.sim.run_until(kill_at + netsim::SimDuration::from_millis(30));
+    tc.sim
+        .run_until(kill_at + netsim::SimDuration::from_millis(30));
 
     let new_leader = tc.member(1);
     assert!(

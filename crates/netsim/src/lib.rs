@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod cpu;
+mod fault;
 mod link;
 mod node;
 mod sim;
@@ -54,6 +55,7 @@ mod stats;
 mod time;
 
 pub use cpu::Cpu;
+pub use fault::{FaultPlan, FaultStats, Partition};
 pub use link::{Bandwidth, LinkSpec, LinkStats, WIRE_OVERHEAD_BYTES};
 pub use node::{Context, Frame, Node, NodeId, PortId, TimerToken};
 pub use sim::{Simulation, TapId};

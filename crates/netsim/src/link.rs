@@ -143,7 +143,12 @@ mod tests {
         assert_eq!(bw.serialization_delay(1524).as_nanos(), 122);
         assert_eq!(bw.serialization_delay(0), SimDuration::ZERO);
         // Tiny frames still take at least a nanosecond.
-        assert_eq!(Bandwidth::from_gbps(400.0).serialization_delay(1).as_nanos(), 1);
+        assert_eq!(
+            Bandwidth::from_gbps(400.0)
+                .serialization_delay(1)
+                .as_nanos(),
+            1
+        );
     }
 
     #[test]

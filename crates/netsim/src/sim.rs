@@ -5,6 +5,7 @@ use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::fault::{FaultPlan, FaultStats};
 use crate::link::{DirLink, LinkSpec, LinkStats};
 use crate::node::{Action, Context, Frame, Node, NodeId, PortId, TimerToken};
 use crate::time::{SimDuration, SimTime};
@@ -98,6 +99,10 @@ pub struct Simulation {
     node_down: Vec<bool>,
     ports: Vec<Vec<PortPeer>>,
     dir_links: Vec<DirLink>,
+    // Parallel to dir_links: the installed fault plan (if any) and its
+    // injection counters.
+    faults: Vec<Option<FaultPlan>>,
+    fault_stats: Vec<FaultStats>,
     rng: StdRng,
     started: bool,
     scratch: Vec<Action>,
@@ -133,6 +138,8 @@ impl Simulation {
             node_down: Vec::new(),
             ports: Vec::new(),
             dir_links: Vec::new(),
+            faults: Vec::new(),
+            fault_stats: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             started: false,
             scratch: Vec::new(),
@@ -175,6 +182,10 @@ impl Simulation {
         self.dir_links.push(DirLink::new(spec));
         let ba = self.dir_links.len();
         self.dir_links.push(DirLink::new(spec));
+        self.faults.push(None);
+        self.faults.push(None);
+        self.fault_stats.push(FaultStats::default());
+        self.fault_stats.push(FaultStats::default());
         self.ports[a.index()].push(PortPeer {
             dir_link: ab,
             peer: b,
@@ -267,6 +278,39 @@ impl Simulation {
         &self.taps[tap.0].frames
     }
 
+    /// Installs (or replaces) a fault plan on the *directed* link that
+    /// carries frames transmitted by `node` on `port`. The reverse
+    /// direction is unaffected — install a plan on the peer's port too
+    /// for a symmetric fault (see [`Simulation::peer_of`]).
+    ///
+    /// Takes effect for frames transmitted from now on; frames already
+    /// on the wire are not revisited.
+    pub fn set_fault_plan(&mut self, node: NodeId, port: PortId, plan: FaultPlan) {
+        let peer = self.ports[node.index()][port.index()];
+        self.faults[peer.dir_link] = Some(plan);
+    }
+
+    /// Removes any fault plan from the directed link out of `node`'s
+    /// `port`. Injection counters are preserved.
+    pub fn clear_fault_plan(&mut self, node: NodeId, port: PortId) {
+        let peer = self.ports[node.index()][port.index()];
+        self.faults[peer.dir_link] = None;
+    }
+
+    /// The fault plan currently installed on the directed link out of
+    /// `node`'s `port`, if any.
+    pub fn fault_plan(&self, node: NodeId, port: PortId) -> Option<&FaultPlan> {
+        let peer = self.ports[node.index()][port.index()];
+        self.faults[peer.dir_link].as_ref()
+    }
+
+    /// Counters of faults injected so far on the directed link out of
+    /// `node`'s `port` (across all plans ever installed there).
+    pub fn fault_stats(&self, node: NodeId, port: PortId) -> FaultStats {
+        let peer = self.ports[node.index()][port.index()];
+        self.fault_stats[peer.dir_link]
+    }
+
     /// Transmission statistics of the directed link from `node`'s `port`.
     pub fn link_stats(&self, node: NodeId, port: PortId) -> LinkStats {
         let peer = self.ports[node.index()][port.index()];
@@ -311,16 +355,40 @@ impl Simulation {
                             self.nodes[node.index()].label()
                         );
                     };
-                    let arrival =
-                        self.dir_links[peer.dir_link].transmit(self.now, frame.len());
-                    self.push_event(
-                        arrival,
-                        EventKind::FrameArrival {
-                            node: peer.peer,
-                            port: peer.peer_port,
+                    // The link is charged whether or not a fault later
+                    // removes the frame: serialization happened either
+                    // way, so installing a plan never shifts the timing
+                    // of the frames that do survive.
+                    let arrival = self.dir_links[peer.dir_link].transmit(self.now, frame.len());
+                    if let Some(plan) = self.faults[peer.dir_link].take() {
+                        let deliveries = plan.apply(
+                            self.now,
+                            arrival,
                             frame,
-                        },
-                    );
+                            &mut self.rng,
+                            &mut self.fault_stats[peer.dir_link],
+                        );
+                        self.faults[peer.dir_link] = Some(plan);
+                        for (at, frame) in deliveries {
+                            self.push_event(
+                                at,
+                                EventKind::FrameArrival {
+                                    node: peer.peer,
+                                    port: peer.peer_port,
+                                    frame,
+                                },
+                            );
+                        }
+                    } else {
+                        self.push_event(
+                            arrival,
+                            EventKind::FrameArrival {
+                                node: peer.peer,
+                                port: peer.peer_port,
+                                frame,
+                            },
+                        );
+                    }
                 }
                 Action::Timer { node, at, token } => {
                     self.push_event(at, EventKind::Timer { node, token });
@@ -489,7 +557,10 @@ mod tests {
     #[test]
     fn link_stats_count_wire_bytes() {
         let mut sim = Simulation::new(1);
-        let tx = sim.add_node(Box::new(Burst { count: 2, size: 100 }));
+        let tx = sim.add_node(Box::new(Burst {
+            count: 2,
+            size: 100,
+        }));
         let rx = sim.add_node(Box::new(Sink { arrivals: vec![] }));
         let (ptx, _) = sim.connect(tx, rx, slow_link());
         sim.run_to_completion();
@@ -557,7 +628,10 @@ mod tests {
     fn determinism_same_seed_same_trace() {
         fn run() -> Vec<(u64, usize)> {
             let mut sim = Simulation::new(42);
-            let tx = sim.add_node(Box::new(Burst { count: 10, size: 33 }));
+            let tx = sim.add_node(Box::new(Burst {
+                count: 10,
+                size: 33,
+            }));
             let rx = sim.add_node(Box::new(Sink { arrivals: vec![] }));
             sim.connect(tx, rx, LinkSpec::default());
             sim.run_to_completion();

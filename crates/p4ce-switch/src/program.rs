@@ -18,9 +18,7 @@
 
 use netsim::{PortId, SimDuration};
 use rdma::cm::{CmMessage, RegionAdvert, RejectReason};
-use rdma::{
-    AethKind, MacAddr, Opcode, Psn, Qpn, RKey, RocePacket, CM_QPN,
-};
+use rdma::{AethKind, MacAddr, Opcode, Psn, Qpn, RKey, RocePacket, CM_QPN};
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 use tofino::{
@@ -67,6 +65,12 @@ pub struct P4ceSwitchConfig {
     pub ack_drop: AckDropStage,
     /// How credits are aggregated.
     pub credit_mode: CreditMode,
+    /// Scatters a replica may stay silent before its credit register is
+    /// excluded from the minimum fold. A crashed replica otherwise pins
+    /// the group's reported credits at its last (possibly zero) value and
+    /// stalls the leader forever; a silent replica cannot contribute ACKs
+    /// anyway, so ignoring its credits never weakens the quorum.
+    pub credit_stale_scatters: u32,
 }
 
 impl Default for P4ceSwitchConfig {
@@ -76,6 +80,7 @@ impl Default for P4ceSwitchConfig {
             numrecv_window: 256,
             ack_drop: AckDropStage::Ingress,
             credit_mode: CreditMode::Minimum,
+            credit_stale_scatters: 1024,
         }
     }
 }
@@ -113,10 +118,23 @@ struct Group {
     bcast_qpn: Qpn,
     virt_rkey: RKey,
     replicas: Vec<ReplicaConn>,
-    /// NumRecv: ACKs seen per in-flight PSN slot.
+    /// NumRecv: bitmap of endpoints whose ACK for the slot's PSN has been
+    /// seen. A bitmap instead of the paper's plain counter makes the
+    /// quorum test count *distinct* replicas, so a duplicated ACK (a
+    /// lossy fabric retransmitting) can never fake an agreement.
     num_recv: RegisterArray,
+    /// Sequence number (PSN distance from the leader's start) each
+    /// NumRecv slot currently aggregates. An ACK whose distance disagrees
+    /// is left over from an earlier wrap of the window and is absorbed
+    /// instead of corrupting the live slot.
+    num_recv_psn: RegisterArray,
     /// Last credit count per replica (one slot per endpoint).
     credits: RegisterArray,
+    /// Scatter sequence number at each replica's most recent ACK (one
+    /// slot per endpoint) — the staleness clock for the credit fold.
+    last_ack_scatter: RegisterArray,
+    /// Write packets scattered so far (wrapping).
+    scatter_count: u32,
     /// Data plane active (tables programmed and reconfiguration done).
     active: bool,
     /// The leader's original handshake, answered after reconfiguration.
@@ -135,6 +153,14 @@ pub struct P4ceSwitchStats {
     pub acks_forwarded: u64,
     /// NAKs forwarded to leaders.
     pub naks_forwarded: u64,
+    /// ACKs absorbed because their PSN no longer matches the slot (late
+    /// arrivals from an earlier wrap of the NumRecv window).
+    pub stale_acks_dropped: u64,
+    /// Duplicate ACKs absorbed because the replica's bit was already set
+    /// in the slot's bitmap.
+    pub duplicate_acks_dropped: u64,
+    /// Credit-fold evaluations that skipped at least one silent replica.
+    pub stale_credit_skips: u64,
     /// Communication groups created.
     pub groups_created: u64,
     /// Reconfigurations completed.
@@ -280,7 +306,10 @@ impl P4ceProgram {
                 virt_rkey,
                 replicas,
                 num_recv: RegisterArray::new(format!("numrecv.g{gid}"), window),
+                num_recv_psn: RegisterArray::new(format!("numrecv_psn.g{gid}"), window),
                 credits: RegisterArray::new(format!("credits.g{gid}"), n),
+                last_ack_scatter: RegisterArray::new(format!("lastack.g{gid}"), n),
+                scatter_count: 0,
                 active: false,
                 leader_handshake: handshake_id,
                 pending_replies: n as u32,
@@ -407,12 +436,7 @@ impl P4ceProgram {
         };
         group.active = true;
         self.stats.reconfigs += 1;
-        let min_len = group
-            .replicas
-            .iter()
-            .map(|r| r.len)
-            .min()
-            .unwrap_or(0);
+        let min_len = group.replicas.iter().map(|r| r.len).min().unwrap_or(0);
         let advert = RegionAdvert {
             va: 0, // virtual: rebased per replica during scatter (§IV-A)
             rkey: group.virt_rkey,
@@ -463,13 +487,25 @@ impl P4ceProgram {
         }
     }
 
-    /// Folds the per-replica credit registers to the group minimum.
-    fn min_credits(group: &Group) -> u32 {
+    /// Folds the per-replica credit registers to the group minimum,
+    /// skipping replicas that have been silent for more than
+    /// `stale_after` scatters — a crashed replica must not pin the
+    /// group's credits at its dying value. Returns the minimum and how
+    /// many replicas were skipped as stale.
+    fn min_credits(group: &Group, stale_after: u32) -> (u32, u32) {
         let mut min = 31;
+        let mut skipped = 0;
         for i in 0..group.replicas.len() {
+            let silent_for = group
+                .scatter_count
+                .wrapping_sub(group.last_ack_scatter.read(i));
+            if silent_for > stale_after {
+                skipped += 1;
+                continue;
+            }
             min = Self::hw_min(min, group.credits.read(i));
         }
-        min
+        (min, skipped)
     }
 
     /// Rewrites an ACK/NAK from replica space into leader space.
@@ -504,15 +540,43 @@ impl P4ceProgram {
             AethKind::Ack { credits } => {
                 // Track this replica's most recent credit count — stored
                 // per group and per replica, *not* per PSN, so the slowest
-                // replica is never ignored (§IV-C).
+                // replica is never ignored (§IV-C) — and stamp its
+                // liveness clock: an ACK of any PSN proves the replica is
+                // there.
                 group.credits.write(endpoint as usize, u32::from(credits));
+                group
+                    .last_ack_scatter
+                    .write(endpoint as usize, group.scatter_count);
                 let replica = &group.replicas[endpoint as usize];
                 let dist = replica.start_psn_out.distance_to(pkt.bth.psn);
                 let idx = dist as usize; // RegisterArray wraps the index
-                let n = group.num_recv.increment(idx);
-                if n == group.f {
+                if group.num_recv_psn.read(idx) != dist {
+                    // The slot has wrapped to a newer write (or was never
+                    // scattered): a late ACK from the old occupant must
+                    // not count towards the new one's quorum.
+                    self.stats.stale_acks_dropped += 1;
+                    return false;
+                }
+                let bit = 1u32 << (u32::from(endpoint) % 32);
+                let seen = group.num_recv.read(idx);
+                if seen & bit != 0 {
+                    // This replica already ACKed this PSN — a duplicate
+                    // (retransmitting fabric) adds no new storage.
+                    self.stats.duplicate_acks_dropped += 1;
+                    return false;
+                }
+                let now_seen = seen | bit;
+                group.num_recv.write(idx, now_seen);
+                if now_seen.count_ones() == group.f {
                     let reported = match self.cfg.credit_mode {
-                        CreditMode::Minimum => Self::min_credits(group).min(31) as u8,
+                        CreditMode::Minimum => {
+                            let (min, skipped) =
+                                Self::min_credits(group, self.cfg.credit_stale_scatters);
+                            if skipped > 0 {
+                                self.stats.stale_credit_skips += 1;
+                            }
+                            min.min(31) as u8
+                        }
                         CreditMode::Passthrough => credits,
                     };
                     Self::rewrite_ack_for_leader(pkt, group, endpoint, sw_ip);
@@ -562,9 +626,14 @@ impl SwitchProgram for P4ceProgram {
             if !group.active {
                 return IngressVerdict::Drop;
             }
-            // Reset NumRecv for this PSN before the copies fly (§IV-B).
+            // Reset NumRecv for this PSN before the copies fly (§IV-B)
+            // and stamp the slot with the sequence number it now serves,
+            // so late ACKs from the slot's previous occupant are
+            // recognizably stale.
             let dist = group.leader_start_psn.distance_to(pkt.bth.psn);
             group.num_recv.write(dist as usize, 0);
+            group.num_recv_psn.write(dist as usize, dist);
+            group.scatter_count = group.scatter_count.wrapping_add(1);
             self.stats.scattered += 1;
             return IngressVerdict::Multicast(group.mcast);
         }
@@ -689,12 +758,179 @@ impl SwitchProgram for P4ceProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rdma::Aeth;
 
     #[test]
     fn hw_min_matches_min() {
         for (a, b) in [(0, 0), (1, 2), (2, 1), (31, 0), (0, 31), (7, 7)] {
             assert_eq!(P4ceProgram::hw_min(a, b), a.min(b), "min({a},{b})");
         }
+    }
+
+    const SW_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+    const LEADER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+    /// A program with one active group (`gid` 1) of `n` replicas needing
+    /// `f` positive ACKs, all PSN bases at zero for readable tests.
+    fn active_group(f: u32, n: usize) -> P4ceProgram {
+        let mut p = P4ceProgram::new(P4ceSwitchConfig::default());
+        let window = p.cfg.numrecv_window;
+        let replicas: Vec<ReplicaConn> = (0..n)
+            .map(|i| ReplicaConn {
+                ip: Ipv4Addr::new(10, 0, 0, 2 + i as u8),
+                port: Some(PortId::from_index(1 + i as u32)),
+                qpn: Qpn(0x200 + i as u32),
+                aggr_qpn: Qpn(0x300 + i as u32),
+                start_psn_out: Psn::new(0),
+                va: 0x1000,
+                rkey: RKey(7),
+                len: 1 << 20,
+                established: true,
+            })
+            .collect();
+        let mut credits = RegisterArray::new("credits.test", n);
+        for i in 0..n {
+            credits.write(i, 31);
+        }
+        p.groups.insert(
+            1,
+            Group {
+                mcast: MulticastGroupId(1),
+                f,
+                leader_ip: LEADER_IP,
+                leader_port: Some(PortId::from_index(0)),
+                leader_qpn: Qpn(0x50),
+                leader_start_psn: Psn::new(0),
+                bcast_qpn: Qpn(0x51),
+                virt_rkey: RKey(9),
+                replicas,
+                num_recv: RegisterArray::new("numrecv.test", window),
+                num_recv_psn: RegisterArray::new("numrecv_psn.test", window),
+                credits,
+                last_ack_scatter: RegisterArray::new("lastack.test", n),
+                scatter_count: 0,
+                active: true,
+                leader_handshake: 0,
+                pending_replies: 0,
+            },
+        );
+        p
+    }
+
+    /// Marks sequence number `dist` as scattered (what the ingress write
+    /// path does before the copies fly).
+    fn scatter(p: &mut P4ceProgram, dist: u32) {
+        let g = p.groups.get_mut(&1).expect("group");
+        g.num_recv.write(dist as usize, 0);
+        g.num_recv_psn.write(dist as usize, dist);
+        g.scatter_count = g.scatter_count.wrapping_add(1);
+    }
+
+    fn ack_from(endpoint: u8, dist: u32, credits: u8) -> RocePacket {
+        RocePacket {
+            src_mac: MacAddr::for_ip(Ipv4Addr::new(10, 0, 0, 2 + endpoint)),
+            dst_mac: MacAddr::for_ip(SW_IP),
+            src_ip: Ipv4Addr::new(10, 0, 0, 2 + endpoint),
+            dst_ip: SW_IP,
+            udp_src_port: 0xD00,
+            bth: rdma::Bth {
+                opcode: Opcode::Acknowledge,
+                dest_qp: Qpn(0x300 + u32::from(endpoint)),
+                psn: Psn::new(dist),
+                ack_req: false,
+            },
+            reth: None,
+            aeth: Some(Aeth {
+                kind: AethKind::Ack { credits },
+                msn: dist,
+            }),
+            payload: bytes::Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn quorum_counts_distinct_replicas_not_raw_acks() {
+        let mut p = active_group(2, 4);
+        scatter(&mut p, 0);
+        // The same replica ACKing twice (a duplicating fabric) must not
+        // complete the f = 2 quorum on its own.
+        let mut a0 = ack_from(0, 0, 31);
+        assert!(!p.gather(&mut a0, 1, 0, SW_IP));
+        let mut a0_dup = ack_from(0, 0, 31);
+        assert!(!p.gather(&mut a0_dup, 1, 0, SW_IP));
+        assert_eq!(p.stats.duplicate_acks_dropped, 1);
+        assert_eq!(p.stats.acks_forwarded, 0);
+        // A second, distinct replica completes it.
+        let mut a1 = ack_from(1, 0, 31);
+        assert!(p.gather(&mut a1, 1, 1, SW_IP));
+        assert_eq!(p.stats.acks_forwarded, 1);
+        assert_eq!(a1.dst_ip, LEADER_IP, "forwarded ACK rewritten to leader");
+    }
+
+    #[test]
+    fn stale_ack_from_wrapped_slot_is_absorbed() {
+        let mut p = active_group(1, 2);
+        let window = p.cfg.numrecv_window as u32;
+        // Slot 0 now serves sequence number `window` (one full wrap).
+        scatter(&mut p, 0);
+        scatter(&mut p, window);
+        // A late ACK for the slot's previous occupant (dist 0) aliases to
+        // the same slot but must not count for sequence `window`.
+        let mut stale = ack_from(0, 0, 31);
+        assert!(!p.gather(&mut stale, 1, 0, SW_IP));
+        assert_eq!(p.stats.stale_acks_dropped, 1);
+        assert_eq!(p.stats.acks_forwarded, 0);
+        // The slot still completes normally for its live occupant.
+        let mut live = ack_from(1, window, 31);
+        assert!(p.gather(&mut live, 1, 1, SW_IP));
+    }
+
+    #[test]
+    fn silent_replica_stops_pinning_the_credit_fold() {
+        let mut p = active_group(1, 3);
+        let stale_after = p.cfg.credit_stale_scatters;
+        // Replica 2 dies with zero credits on record.
+        {
+            let g = p.groups.get_mut(&1).expect("group");
+            g.credits.write(2, 0);
+        }
+        // While it is within the staleness window its zero still counts
+        // (it might just be slow — §IV-C's whole point).
+        scatter(&mut p, 0);
+        let mut early = ack_from(0, 0, 20);
+        assert!(p.gather(&mut early, 1, 0, SW_IP));
+        match early.aeth.expect("ack").kind {
+            AethKind::Ack { credits } => assert_eq!(credits, 0, "dead weight still counted"),
+            k => panic!("expected ack, got {k:?}"),
+        }
+        // After `stale_after` further scatters with no ACK from replica 2,
+        // the fold ignores it and reports the slowest *live* replica.
+        for d in 1..=stale_after + 1 {
+            scatter(&mut p, d);
+        }
+        let live_dist = stale_after + 1;
+        let mut late = ack_from(0, live_dist, 20);
+        assert!(p.gather(&mut late, 1, 0, SW_IP));
+        match late.aeth.expect("ack").kind {
+            AethKind::Ack { credits } => {
+                assert_eq!(credits, 20, "silent replica excluded from the minimum")
+            }
+            k => panic!("expected ack, got {k:?}"),
+        }
+        assert!(p.stats.stale_credit_skips >= 1);
+    }
+
+    #[test]
+    fn nak_passthrough_survives_hardening() {
+        let mut p = active_group(2, 3);
+        scatter(&mut p, 0);
+        let mut nak = ack_from(0, 0, 31);
+        nak.aeth = Some(Aeth {
+            kind: AethKind::Nak(rdma::NakCode::PsnSequenceError),
+            msn: 0,
+        });
+        assert!(p.gather(&mut nak, 1, 0, SW_IP), "NAKs always pass through");
+        assert_eq!(p.stats.naks_forwarded, 1);
     }
 
     #[test]

@@ -123,7 +123,8 @@ fn build(
     )));
     for (i, &h) in ids.iter().enumerate() {
         let (_, p) = sim.connect(h, switch, LinkSpec::default());
-        sim.node_mut::<Switch<P4ceProgram>>(switch).add_route(ips[i], p);
+        sim.node_mut::<Switch<P4ceProgram>>(switch)
+            .add_route(ips[i], p);
     }
     (Net { sim, switch }, ids)
 }
@@ -166,10 +167,22 @@ fn two_groups_share_one_switch() {
                 },
             )),
         ),
-        (ip(11), Box::new(Host::new(HostConfig::new(ip(11)), Sink::default()))),
-        (ip(12), Box::new(Host::new(HostConfig::new(ip(12)), Sink::default()))),
-        (ip(13), Box::new(Host::new(HostConfig::new(ip(13)), Sink::default()))),
-        (ip(14), Box::new(Host::new(HostConfig::new(ip(14)), Sink::default()))),
+        (
+            ip(11),
+            Box::new(Host::new(HostConfig::new(ip(11)), Sink::default())),
+        ),
+        (
+            ip(12),
+            Box::new(Host::new(HostConfig::new(ip(12)), Sink::default())),
+        ),
+        (
+            ip(13),
+            Box::new(Host::new(HostConfig::new(ip(13)), Sink::default())),
+        ),
+        (
+            ip(14),
+            Box::new(Host::new(HostConfig::new(ip(14)), Sink::default())),
+        ),
     ];
     let (mut net, ids) = build(hosts, P4ceSwitchConfig::default());
     net.sim.run_until(SimTime::from_millis(100));
@@ -183,7 +196,10 @@ fn two_groups_share_one_switch() {
         let sink = net.sim.node_ref::<Host<Sink>>(ids[idx]).app();
         assert_eq!(sink.writes, expected, "sink {idx}");
     }
-    let prog = net.sim.node_ref::<Switch<P4ceProgram>>(net.switch).program();
+    let prog = net
+        .sim
+        .node_ref::<Switch<P4ceProgram>>(net.switch)
+        .program();
     assert_eq!(prog.active_groups(), 2);
     assert_eq!(prog.stats.scattered, 250);
     // Group A (f=2): absorbs 0... waits for 2, forwards 2nd, absorbs none
@@ -215,8 +231,14 @@ fn window_deeper_than_max_inflight_is_safe() {
                 },
             )),
         ),
-        (ip(11), Box::new(Host::new(HostConfig::new(ip(11)), Sink::default()))),
-        (ip(12), Box::new(Host::new(HostConfig::new(ip(12)), Sink::default()))),
+        (
+            ip(11),
+            Box::new(Host::new(HostConfig::new(ip(11)), Sink::default())),
+        ),
+        (
+            ip(12),
+            Box::new(Host::new(HostConfig::new(ip(12)), Sink::default())),
+        ),
     ];
     let (mut net, ids) = build(hosts, P4ceSwitchConfig::default());
     net.sim.run_until(SimTime::from_millis(100));
@@ -249,7 +271,10 @@ fn passthrough_credits_ignore_the_slow_replica() {
                     },
                 )),
             ),
-            (ip(11), Box::new(Host::new(HostConfig::new(ip(11)), Sink::default()))),
+            (
+                ip(11),
+                Box::new(Host::new(HostConfig::new(ip(11)), Sink::default())),
+            ),
             (
                 ip(12),
                 Box::new(Host::new(

@@ -187,8 +187,14 @@ fn single_write_scatters_to_all_and_gathers_one_ack() {
 
     let prog = c.sim.node_ref::<Switch<P4ceProgram>>(c.switch).program();
     assert_eq!(prog.stats.scattered, 1);
-    assert_eq!(prog.stats.acks_forwarded, 1, "only the f-th ACK reaches the leader");
-    assert_eq!(prog.stats.acks_absorbed, 1, "the other ACK dies in the switch");
+    assert_eq!(
+        prog.stats.acks_forwarded, 1,
+        "only the f-th ACK reaches the leader"
+    );
+    assert_eq!(
+        prog.stats.acks_absorbed, 1,
+        "the other ACK dies in the switch"
+    );
     assert_eq!(prog.active_groups(), 1);
 
     // The leader received exactly one ACK packet for its write (plus CM).

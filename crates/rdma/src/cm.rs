@@ -189,9 +189,7 @@ impl CmMessage {
                 let qpn = Qpn(u32::from_be_bytes(take::<4>(bytes, 9)?));
                 let start_psn = Psn::new(u32::from_be_bytes(take::<4>(bytes, 13)?));
                 let pd_len = u16::from_be_bytes(take::<2>(bytes, 17)?) as usize;
-                let pd = bytes
-                    .get(19..19 + pd_len)
-                    .ok_or(CmDecodeError::Truncated)?;
+                let pd = bytes.get(19..19 + pd_len).ok_or(CmDecodeError::Truncated)?;
                 let private_data = Bytes::copy_from_slice(pd);
                 Ok(if tag == 1 {
                     CmMessage::ConnectRequest {

@@ -21,7 +21,9 @@ use std::net::Ipv4Addr;
 use crate::cm::{CmMessage, RejectReason};
 use crate::memory::{HostMemory, RegionHandle, RegionInfo};
 use crate::opcode::Opcode;
-use crate::qp::{PacketPlan, PeerInfo, QpState, QueuePair, RecoveryAction, RecvVerdict, WriteCursor};
+use crate::qp::{
+    PacketPlan, PeerInfo, QpState, QueuePair, RecoveryAction, RecvVerdict, WriteCursor,
+};
 use crate::types::{MacAddr, Permissions, Psn, Qpn, CM_QPN, DEFAULT_RDMA_MTU};
 use crate::verbs::{Completion, CompletionStatus, WorkRequest, WrId};
 use crate::wire::{Aeth, AethKind, Bth, NakCode, RocePacket};
@@ -211,6 +213,12 @@ pub struct HostStats {
     pub naks_sent: u64,
     /// Retransmitted packets.
     pub retransmits: u64,
+    /// Retransmitted packets triggered by the retransmission timer
+    /// ([`QueuePair::check_timeout`]) — the lost-ACK / lost-tail path.
+    pub timeout_retransmits: u64,
+    /// Retransmitted packets triggered by a peer NAK
+    /// ([`QueuePair::handle_nak`]) — the mid-stream-gap path.
+    pub nak_retransmits: u64,
     /// Request packets dropped because the receive buffer was full (the
     /// damage ignoring credit counts causes).
     pub rx_overflow_drops: u64,
@@ -442,12 +450,7 @@ impl HostCore {
         self.qps.values().any(|qp| qp.inflight_len() > 0)
     }
 
-    fn enqueue_delivery(
-        &mut self,
-        delivery: Delivery,
-        cost: SimDuration,
-        ctx: &mut Context<'_>,
-    ) {
+    fn enqueue_delivery(&mut self, delivery: Delivery, cost: SimDuration, ctx: &mut Context<'_>) {
         let id = self.next_delivery;
         self.next_delivery = (self.next_delivery + 1) & TK_DATA_MASK;
         self.deliveries.insert(id, delivery);
@@ -468,10 +471,7 @@ impl HostCore {
     fn retransmit(&mut self, qpn: Qpn, packets: Vec<PacketPlan>) {
         self.stats.retransmits += packets.len() as u64;
         let port = self.qp_port(qpn);
-        let frames: Vec<Frame> = packets
-            .iter()
-            .map(|p| self.build_frame(qpn, p))
-            .collect();
+        let frames: Vec<Frame> = packets.iter().map(|p| self.build_frame(qpn, p)).collect();
         for f in frames {
             self.tx_fifo.push_back((port, f));
         }
@@ -705,6 +705,7 @@ impl HostCore {
                 match qp.handle_nak(code) {
                     RecoveryAction::None => {}
                     RecoveryAction::Retransmit(pkts) => {
+                        self.stats.nak_retransmits += pkts.len() as u64;
                         self.retransmit(qpn, pkts);
                         self.kick_tx(ctx);
                     }
@@ -741,9 +742,7 @@ impl HostCore {
         let done = qp.handle_ack(pkt.bth.psn, credits);
         for (wr_id, is_read) in done {
             if is_read {
-                if let Some((region, offset)) =
-                    self.read_landing.remove(&(qpn.masked(), wr_id.0))
-                {
+                if let Some((region, offset)) = self.read_landing.remove(&(qpn.masked(), wr_id.0)) {
                     self.mem.write_local(region, offset, &pkt.payload);
                 }
             }
@@ -937,8 +936,8 @@ impl HostOps<'_, '_> {
         );
         qp.begin_connect();
         self.core.qps.insert(qpn.masked(), qp);
-        let handshake_id =
-            (u64::from(u32::from_be_bytes(self.core.cfg.ip.octets())) << 24) | self.core.next_handshake;
+        let handshake_id = (u64::from(u32::from_be_bytes(self.core.cfg.ip.octets())) << 24)
+            | self.core.next_handshake;
         self.core.next_handshake += 1;
         self.core.initiated.insert(handshake_id, qpn);
         let msg = CmMessage::ConnectRequest {
@@ -1231,10 +1230,7 @@ impl<A: RdmaApp> Host<A> {
     fn maybe_arm_retransmit(&mut self, ctx: &mut Context<'_>) {
         if !self.core.rt_tick_armed && self.core.any_inflight() {
             self.core.rt_tick_armed = true;
-            ctx.schedule(
-                self.core.cfg.retransmit_timeout,
-                TimerToken(TK_RETRANSMIT),
-            );
+            ctx.schedule(self.core.cfg.retransmit_timeout, TimerToken(TK_RETRANSMIT));
         }
     }
 }
@@ -1343,6 +1339,7 @@ impl<A: RdmaApp> Node for Host<A> {
                     match action {
                         RecoveryAction::None => {}
                         RecoveryAction::Retransmit(pkts) => {
+                            self.core.stats.timeout_retransmits += pkts.len() as u64;
                             self.core.retransmit(Qpn(qpn), pkts);
                             self.core.kick_tx(ctx);
                         }

@@ -210,12 +210,11 @@ impl HostMemory {
     }
 
     fn locate(&self, rkey: RKey, va: u64, len: u64) -> Result<(usize, usize), AccessError> {
-        let idx = *self
-            .by_rkey
-            .get(&rkey.0)
-            .ok_or(AccessError::BadKey(rkey))?;
+        let idx = *self.by_rkey.get(&rkey.0).ok_or(AccessError::BadKey(rkey))?;
         let info = self.regions[idx].info;
-        let end = va.checked_add(len).ok_or(AccessError::OutOfBounds { va, len })?;
+        let end = va
+            .checked_add(len)
+            .ok_or(AccessError::OutOfBounds { va, len })?;
         if va < info.va || end > info.va + info.len {
             return Err(AccessError::OutOfBounds { va, len });
         }
@@ -238,7 +237,10 @@ impl HostMemory {
     ) -> Result<(), AccessError> {
         let (idx, off) = self.locate(rkey, va, data.len() as u64)?;
         let region = &mut self.regions[idx];
-        let perms = *region.peer_perms.get(&peer).unwrap_or(&region.default_perms);
+        let perms = *region
+            .peer_perms
+            .get(&peer)
+            .unwrap_or(&region.default_perms);
         if !perms.remote_write {
             return Err(AccessError::PermissionDenied { peer, write: true });
         }
@@ -266,13 +268,14 @@ impl HostMemory {
     ) -> Result<Bytes, AccessError> {
         let (idx, off) = self.locate(rkey, va, len)?;
         let region = &self.regions[idx];
-        let perms = *region.peer_perms.get(&peer).unwrap_or(&region.default_perms);
+        let perms = *region
+            .peer_perms
+            .get(&peer)
+            .unwrap_or(&region.default_perms);
         if !perms.remote_read {
             return Err(AccessError::PermissionDenied { peer, write: false });
         }
-        Ok(Bytes::copy_from_slice(
-            &region.buf[off..off + len as usize],
-        ))
+        Ok(Bytes::copy_from_slice(&region.buf[off..off + len as usize]))
     }
 
     /// Number of registered regions.
@@ -317,7 +320,10 @@ mod tests {
         let err = mem
             .remote_write(peer(1), Qpn(0), info.rkey, info.va, b"hi")
             .expect_err("default denies");
-        assert!(matches!(err, AccessError::PermissionDenied { write: true, .. }));
+        assert!(matches!(
+            err,
+            AccessError::PermissionDenied { write: true, .. }
+        ));
 
         mem.grant(r, peer(1), Permissions::WRITE);
         mem.remote_write(peer(1), Qpn(0), info.rkey, info.va + 10, b"hi")
@@ -325,10 +331,14 @@ mod tests {
         assert_eq!(mem.read_local(r, 10, 2), b"hi");
 
         // Another peer is still denied.
-        assert!(mem.remote_write(peer(2), Qpn(0), info.rkey, info.va, b"x").is_err());
+        assert!(mem
+            .remote_write(peer(2), Qpn(0), info.rkey, info.va, b"x")
+            .is_err());
 
         mem.revoke(r, peer(1));
-        assert!(mem.remote_write(peer(1), Qpn(0), info.rkey, info.va, b"x").is_err());
+        assert!(mem
+            .remote_write(peer(1), Qpn(0), info.rkey, info.va, b"x")
+            .is_err());
     }
 
     #[test]

@@ -360,8 +360,7 @@ impl RocePacket {
             let rkey = RKey(u32::from_be_bytes(
                 b[off + 8..off + 12].try_into().expect("slice len"),
             ));
-            let dma_len =
-                u32::from_be_bytes(b[off + 12..off + 16].try_into().expect("slice len"));
+            let dma_len = u32::from_be_bytes(b[off + 12..off + 16].try_into().expect("slice len"));
             off += RETH_LEN;
             Some(Reth { va, rkey, dma_len })
         } else {
@@ -383,8 +382,7 @@ impl RocePacket {
             return Err(ParseError::TooShort);
         }
         let payload = frame.data.slice(off..b.len() - ICRC_LEN);
-        let got_icrc =
-            u32::from_be_bytes(b[b.len() - ICRC_LEN..].try_into().expect("slice len"));
+        let got_icrc = u32::from_be_bytes(b[b.len() - ICRC_LEN..].try_into().expect("slice len"));
         let want_icrc = icrc_compute(
             src_ip,
             dst_ip,
@@ -437,7 +435,12 @@ pub fn ipv4_checksum(header: &[u8]) -> u16 {
 /// pseudo-header (addresses + source port) plus the transport bytes. The
 /// property that matters is preserved: any in-flight rewrite of a covered
 /// field forces whoever rewrote it to recompute the checksum.
-pub fn icrc_compute(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, udp_src_port: u16, transport: &[u8]) -> u32 {
+pub fn icrc_compute(
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    udp_src_port: u16,
+    transport: &[u8],
+) -> u32 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |byte: u8| {
         h ^= u64::from(byte);

@@ -197,7 +197,11 @@ fn multi_packet_write_lands_contiguously() {
     sim.run_until(SimTime::from_millis(1));
 
     let client_app = sim.node_ref::<Host<Client>>(c).app();
-    assert_eq!(client_app.completions.len(), 1, "one completion per message");
+    assert_eq!(
+        client_app.completions.len(),
+        1,
+        "one completion per message"
+    );
     assert!(client_app.completions[0].status.is_success());
     // Server saw three packet-level writes covering the whole payload.
     let server_app = sim.node_ref::<Host<Server>>(s).app();
@@ -223,8 +227,10 @@ fn read_returns_remote_bytes() {
         }
         fn on_completion(&mut self, c: Completion, ops: &mut HostOps<'_, '_>) {
             if c.wr_id == WrId(900) && c.status.is_success() {
-                self.read_back =
-                    Some(ops.read_local(self.inner.scratch.expect("scratch"), 0, 16).to_vec());
+                self.read_back = Some(
+                    ops.read_local(self.inner.scratch.expect("scratch"), 0, 16)
+                        .to_vec(),
+                );
             }
             self.inner.on_completion(c, ops);
         }
@@ -382,5 +388,9 @@ fn credits_are_advertised_on_acks() {
     sim.run_until(SimTime::from_millis(1));
     let app = sim.node_ref::<Host<Client>>(c).app();
     // An idle responder advertises (nearly) full capacity.
-    assert!(app.completions[0].credits >= 14, "got {}", app.completions[0].credits);
+    assert!(
+        app.completions[0].credits >= 14,
+        "got {}",
+        app.completions[0].credits
+    );
 }

@@ -122,7 +122,10 @@ fn nic_serves_queue_pairs_fairly() {
         HostConfig::new(A_IP),
         MultiConn::new(4, 200),
     )));
-    let b = sim.add_node(Box::new(Host::new(HostConfig::new(B_IP), Acceptor::default())));
+    let b = sim.add_node(Box::new(Host::new(
+        HostConfig::new(B_IP),
+        Acceptor::default(),
+    )));
     sim.connect(a, b, LinkSpec::default());
     sim.run_until(SimTime::from_millis(10));
 
@@ -165,7 +168,13 @@ fn connections_migrate_to_the_arrival_path() {
             } = ev
             {
                 let advert = RegionAdvert::decode(&private_data).expect("advert");
-                ops.post_write(qpn, WrId(1), advert.va, advert.rkey, Bytes::from(vec![9u8; 64]));
+                ops.post_write(
+                    qpn,
+                    WrId(1),
+                    advert.va,
+                    advert.rkey,
+                    Bytes::from(vec![9u8; 64]),
+                );
             }
         }
         fn on_completion(&mut self, c: Completion, _ops: &mut HostOps<'_, '_>) {
@@ -187,7 +196,10 @@ fn connections_migrate_to_the_arrival_path() {
             acked: 0,
         },
     )));
-    let b = sim.add_node(Box::new(Host::new(HostConfig::new(B_IP), Acceptor::default())));
+    let b = sim.add_node(Box::new(Host::new(
+        HostConfig::new(B_IP),
+        Acceptor::default(),
+    )));
     let sw1 = sim.add_node(Box::new(Switch::new(
         SwitchConfig::tofino1(Ipv4Addr::new(10, 3, 0, 101)),
         2,
@@ -203,10 +215,14 @@ fn connections_migrate_to_the_arrival_path() {
     let (_, s1b) = sim.connect(b, sw1, LinkSpec::default());
     let (_, s2a) = sim.connect(a, sw2, LinkSpec::default());
     let (_, s2b) = sim.connect(b, sw2, LinkSpec::default());
-    sim.node_mut::<Switch<L3Forwarder>>(sw1).add_route(A_IP, s1a);
-    sim.node_mut::<Switch<L3Forwarder>>(sw1).add_route(B_IP, s1b);
-    sim.node_mut::<Switch<L3Forwarder>>(sw2).add_route(A_IP, s2a);
-    sim.node_mut::<Switch<L3Forwarder>>(sw2).add_route(B_IP, s2b);
+    sim.node_mut::<Switch<L3Forwarder>>(sw1)
+        .add_route(A_IP, s1a);
+    sim.node_mut::<Switch<L3Forwarder>>(sw1)
+        .add_route(B_IP, s1b);
+    sim.node_mut::<Switch<L3Forwarder>>(sw2)
+        .add_route(A_IP, s2a);
+    sim.node_mut::<Switch<L3Forwarder>>(sw2)
+        .add_route(B_IP, s2b);
 
     // Kill fabric 1 outright: if the connection tried to ride it, it
     // could never complete.
@@ -248,7 +264,13 @@ fn receiver_overload_collapses_credits_and_throttles() {
             {
                 let advert = RegionAdvert::decode(&private_data).expect("advert");
                 for i in 0..self.total {
-                    ops.post_write(qpn, WrId(i), advert.va, advert.rkey, Bytes::from(vec![1u8; 64]));
+                    ops.post_write(
+                        qpn,
+                        WrId(i),
+                        advert.va,
+                        advert.rkey,
+                        Bytes::from(vec![1u8; 64]),
+                    );
                 }
             }
         }

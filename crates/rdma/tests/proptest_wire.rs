@@ -6,7 +6,9 @@ use bytes::Bytes;
 use netsim::Frame;
 use proptest::prelude::*;
 use rdma::cm::{CmMessage, RejectReason, MAX_REQ_PRIVATE_DATA};
-use rdma::{Aeth, AethKind, Bth, MacAddr, NakCode, Opcode, ParseError, Psn, Qpn, RKey, Reth, RocePacket};
+use rdma::{
+    Aeth, AethKind, Bth, MacAddr, NakCode, Opcode, ParseError, Psn, Qpn, RKey, Reth, RocePacket,
+};
 use std::net::Ipv4Addr;
 
 fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {

@@ -15,6 +15,50 @@ impl fmt::Display for MemberId {
     }
 }
 
+/// Link-management and failure-detection timing shared by the Mu and
+/// P4CE members.
+///
+/// All tick counts are in units of the member's heartbeat period
+/// ([`ClusterConfig::heartbeat_period`]). Chaos and fault-injection
+/// tests tighten these to provoke reconnects and fail-overs quickly;
+/// protocol code never hard-codes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolTiming {
+    /// Heartbeat ticks to wait before feeding the failure detector after
+    /// start-up or a path fail-over — covers link establishment (no
+    /// information is not a stall).
+    pub detector_grace_ticks: u32,
+    /// Heartbeat ticks a dead link waits before redialling.
+    pub link_redial_ticks: u32,
+    /// Heartbeat ticks after which a handshake that never completed (its
+    /// packets died with the fabric) is abandoned.
+    pub link_abandon_ticks: u32,
+    /// Backoff counter value an abandoned handshake restarts from, so the
+    /// redial happens `link_redial_ticks - link_retry_soon_ticks` ticks
+    /// later instead of a full redial period.
+    pub link_retry_soon_ticks: u32,
+    /// Delay before a leader re-offers a replication connection to a
+    /// replica that refused the handshake (it has not adopted this leader
+    /// yet).
+    pub replica_reconnect_delay: SimDuration,
+    /// Delay before a P4CE leader retries forming the switch group after
+    /// a replica refused it (likely a leadership race).
+    pub group_retry_delay: SimDuration,
+}
+
+impl Default for ProtocolTiming {
+    fn default() -> Self {
+        ProtocolTiming {
+            detector_grace_ticks: 10,
+            link_redial_ticks: 10,
+            link_abandon_ticks: 30,
+            link_retry_soon_ticks: 8,
+            replica_reconnect_delay: SimDuration::from_micros(200),
+            group_retry_delay: SimDuration::from_micros(500),
+        }
+    }
+}
+
 /// Static description of a replication cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -30,6 +74,8 @@ pub struct ClusterConfig {
     /// Time a permission reconfiguration takes to apply (the 0.9 ms the
     /// paper measures for a Mu leader change, §V-E).
     pub permission_change_delay: SimDuration,
+    /// Link-management and failure-detection timing.
+    pub timing: ProtocolTiming,
 }
 
 impl ClusterConfig {
@@ -52,6 +98,7 @@ impl ClusterConfig {
             heartbeat_period: SimDuration::from_micros(100),
             failure_threshold: 5,
             permission_change_delay: SimDuration::from_micros(900),
+            timing: ProtocolTiming::default(),
         }
     }
 
@@ -131,5 +178,16 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn tiny_cluster_rejected() {
         let _ = ClusterConfig::new(&addrs(1));
+    }
+
+    #[test]
+    fn default_timing_matches_the_protocol_constants() {
+        let t = ClusterConfig::new(&addrs(3)).timing;
+        assert_eq!(t.detector_grace_ticks, 10);
+        assert_eq!(t.link_redial_ticks, 10);
+        assert_eq!(t.link_abandon_ticks, 30);
+        assert!(t.link_retry_soon_ticks < t.link_redial_ticks);
+        assert_eq!(t.replica_reconnect_delay, SimDuration::from_micros(200));
+        assert_eq!(t.group_retry_delay, SimDuration::from_micros(500));
     }
 }

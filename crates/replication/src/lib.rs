@@ -23,7 +23,7 @@ pub mod heartbeat;
 pub mod log;
 pub mod workload;
 
-pub use config::{ClusterConfig, MemberId};
+pub use config::{ClusterConfig, MemberId, ProtocolTiming};
 pub use election::{leader_of, ViewChange, ViewTracker};
 pub use heartbeat::{FailureDetector, HeartbeatCounter};
 pub use log::{decode_at, Decoded, LogEntry, LogError, LogReader, LogWriter, StateMachine};

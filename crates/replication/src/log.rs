@@ -375,10 +375,7 @@ mod tests {
         let mut log = vec![0u8; 64];
         log[0] = 0xde;
         log[1] = 0xad;
-        assert_eq!(
-            decode_at(&log, 0),
-            Err(LogError::Corrupt { offset: 0 })
-        );
+        assert_eq!(decode_at(&log, 0), Err(LogError::Corrupt { offset: 0 }));
     }
 
     #[test]

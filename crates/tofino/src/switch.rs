@@ -20,7 +20,9 @@ use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 use crate::mcast::{McastMember, MulticastGroupId, MulticastGroups};
-use crate::program::{ControlOps, EgressMeta, IngressMeta, IngressVerdict, PipelineOps, SwitchProgram};
+use crate::program::{
+    ControlOps, EgressMeta, IngressMeta, IngressVerdict, PipelineOps, SwitchProgram,
+};
 
 /// Static parameters of the switch.
 #[derive(Debug, Clone)]
@@ -198,7 +200,10 @@ impl<P: SwitchProgram> Switch<P> {
 
     /// Charges a parser for one packet; `None` means tail drop.
     fn parser_admit(parser: &mut Cpu, now: SimTime, cfg: &SwitchConfig) -> Option<SimTime> {
-        let backlog_ns = parser.busy_until().saturating_duration_since(now).as_nanos();
+        let backlog_ns = parser
+            .busy_until()
+            .saturating_duration_since(now)
+            .as_nanos();
         let backlog_pkts = backlog_ns / cfg.parser_cost.as_nanos().max(1);
         if backlog_pkts >= cfg.parser_queue_limit {
             return None;

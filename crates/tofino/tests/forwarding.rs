@@ -98,7 +98,10 @@ fn rdma_write_traverses_the_switch() {
             done: vec![],
         },
     )));
-    let b = sim.add_node(Box::new(Host::new(HostConfig::new(B_IP), Target::default())));
+    let b = sim.add_node(Box::new(Host::new(
+        HostConfig::new(B_IP),
+        Target::default(),
+    )));
     let sw = sim.add_node(Box::new(Switch::new(
         SwitchConfig::tofino1(SW_IP),
         2,
@@ -106,8 +109,10 @@ fn rdma_write_traverses_the_switch() {
     )));
     let (_, swp_a) = sim.connect(a, sw, LinkSpec::default());
     let (_, swp_b) = sim.connect(b, sw, LinkSpec::default());
-    sim.node_mut::<Switch<L3Forwarder>>(sw).add_route(A_IP, swp_a);
-    sim.node_mut::<Switch<L3Forwarder>>(sw).add_route(B_IP, swp_b);
+    sim.node_mut::<Switch<L3Forwarder>>(sw)
+        .add_route(A_IP, swp_a);
+    sim.node_mut::<Switch<L3Forwarder>>(sw)
+        .add_route(B_IP, swp_b);
 
     sim.run_until(SimTime::from_millis(2));
 
@@ -162,7 +167,10 @@ fn switch_adds_bounded_latency() {
             done: vec![],
         },
     )));
-    let b = sim.add_node(Box::new(Host::new(HostConfig::new(B_IP), Target::default())));
+    let b = sim.add_node(Box::new(Host::new(
+        HostConfig::new(B_IP),
+        Target::default(),
+    )));
     let sw = sim.add_node(Box::new(Switch::new(
         SwitchConfig::tofino1(SW_IP),
         2,
@@ -170,8 +178,10 @@ fn switch_adds_bounded_latency() {
     )));
     let (_, swp_a) = sim.connect(a, sw, LinkSpec::default());
     let (_, swp_b) = sim.connect(b, sw, LinkSpec::default());
-    sim.node_mut::<Switch<L3Forwarder>>(sw).add_route(A_IP, swp_a);
-    sim.node_mut::<Switch<L3Forwarder>>(sw).add_route(B_IP, swp_b);
+    sim.node_mut::<Switch<L3Forwarder>>(sw)
+        .add_route(A_IP, swp_a);
+    sim.node_mut::<Switch<L3Forwarder>>(sw)
+        .add_route(B_IP, swp_b);
     sim.run_until(SimTime::from_millis(5));
     let writer = sim.node_ref::<Host<Writer>>(a).app();
     assert_eq!(writer.done.len(), 1, "write completed through the fabric");

@@ -27,11 +27,7 @@ fn main() {
     );
     println!(
         "  throughput         : {:.2} M consensus/s",
-        leader
-            .stats
-            .throughput
-            .ops_per_sec(deployment.sim.now())
-            / 1e6
+        leader.stats.throughput.ops_per_sec(deployment.sim.now()) / 1e6
     );
 
     // The switch did the communication work: one write in, one ACK out,

@@ -133,9 +133,14 @@ fn main() {
         ))));
     }
     let program = P4ceProgram::new(P4ceSwitchConfig::default());
-    let switch = sim.add_node(Box::new(Switch::new(SwitchConfig::tofino1(SW_IP), 4, program)));
+    let switch = sim.add_node(Box::new(Switch::new(
+        SwitchConfig::tofino1(SW_IP),
+        4,
+        program,
+    )));
     let (_, p) = sim.connect(sensor, switch, LinkSpec::default());
-    sim.node_mut::<Switch<P4ceProgram>>(switch).add_route(SENSOR_IP, p);
+    sim.node_mut::<Switch<P4ceProgram>>(switch)
+        .add_route(SENSOR_IP, p);
     for (i, &c) in collectors.iter().enumerate() {
         let (_, p) = sim.connect(c, switch, LinkSpec::default());
         sim.node_mut::<Switch<P4ceProgram>>(switch)

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must be green before a merge.
+#
+#   ./scripts/tier1.sh           # build + tests + lints
+#
+# The test step mirrors CI exactly: the root package's integration
+# suites (consensus safety, soak, chaos, determinism) plus every crate's
+# unit tests, then clippy with warnings promoted to errors, then
+# formatting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (root integration suites)"
+cargo test -q
+
+echo "==> cargo test -q --workspace (crate unit tests)"
+cargo test -q --workspace --exclude p4ce-repro
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "tier-1: all green"

@@ -22,10 +22,14 @@ impl StateMachine for Recorder {
     }
 }
 
-fn run_cluster_with_commands(n_members: usize, commands: &[Vec<u8>]) -> Vec<(Vec<u64>, Vec<Vec<u8>>)> {
+fn run_cluster_with_commands(
+    n_members: usize,
+    commands: &[Vec<u8>],
+) -> Vec<(Vec<u64>, Vec<Vec<u8>>)> {
     let mut d = ClusterBuilder::new(n_members).build();
     for i in 0..n_members {
-        d.member_mut(i).set_state_machine(Box::new(Recorder::default()));
+        d.member_mut(i)
+            .set_state_machine(Box::new(Recorder::default()));
     }
     d.sim.run_until(SimTime::from_millis(60));
     assert!(d.leader().is_accelerated(), "setup must accelerate");

@@ -26,7 +26,8 @@ fn run_soak(seed: u64) -> (u64, u64, u64) {
         .seed(seed)
         .build();
     for i in 0..5 {
-        d.member_mut(i).set_state_machine(Box::new(Counter::default()));
+        d.member_mut(i)
+            .set_state_machine(Box::new(Counter::default()));
     }
 
     // Phase 1: steady state.
@@ -62,7 +63,10 @@ fn run_soak(seed: u64) -> (u64, u64, u64) {
         final_leader.is_operational_leader(),
         "phase 5: survives the switch"
     );
-    assert!(!final_leader.is_accelerated(), "phase 5: direct replication");
+    assert!(
+        !final_leader.is_accelerated(),
+        "phase 5: direct replication"
+    );
     let final_decided = final_leader.stats.decided;
     assert!(
         final_decided > new_leader_decided,
@@ -77,7 +81,9 @@ fn run_soak(seed: u64) -> (u64, u64, u64) {
     assert!(events
         .iter()
         .any(|(_, e)| matches!(e, MemberEvent::PathFailover)));
-    assert!(events.iter().any(|(_, e)| matches!(e, MemberEvent::FellBack)));
+    assert!(events
+        .iter()
+        .any(|(_, e)| matches!(e, MemberEvent::FellBack)));
 
     (final_decided, d.sim.events_processed(), steady)
 }
@@ -98,7 +104,8 @@ fn zero_byte_values_replicate() {
     // (framing carries all the information).
     let mut d = ClusterBuilder::new(3).build();
     for i in 0..3 {
-        d.member_mut(i).set_state_machine(Box::new(Counter::default()));
+        d.member_mut(i)
+            .set_state_machine(Box::new(Counter::default()));
     }
     d.sim.run_until(SimTime::from_millis(60));
     for _ in 0..5 {

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the subset the workspace uses: a deterministic [`rngs::StdRng`]
+//! seedable through [`SeedableRng::seed_from_u64`], plus the uniform draw
+//! helpers the fault-injection layer needs. The generator is
+//! xoshiro256** seeded via SplitMix64 — not the real `StdRng`
+//! (ChaCha12), but every consumer in this workspace only relies on
+//! determinism for a fixed seed, which this guarantees.
+
+#![forbid(unsafe_code)]
+
+/// A random-number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates the generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete RNG types.
+pub mod rngs {
+    /// Deterministic generator (xoshiro256**), stand-in for the real
+    /// `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl StdRng {
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Next raw 32 random bits.
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// A uniform float in `[0, 1)`.
+        pub fn gen_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// True with probability `p` (clamped to `[0, 1]`).
+        pub fn gen_bool(&mut self, p: f64) -> bool {
+            if p <= 0.0 {
+                false
+            } else if p >= 1.0 {
+                true
+            } else {
+                self.gen_f64() < p
+            }
+        }
+
+        /// A uniform draw from `[range.start, range.end)`.
+        ///
+        /// # Panics
+        /// Panics on an empty range.
+        pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+            assert!(range.start < range.end, "gen_range on empty range");
+            let span = range.end - range.start;
+            range.start + self.next_u64() % span
+        }
+
+        /// A uniform index in `[0, len)`.
+        ///
+        /// # Panics
+        /// Panics when `len` is zero.
+        pub fn gen_index(&mut self, len: usize) -> usize {
+            assert!(len > 0, "gen_index on empty collection");
+            (self.next_u64() % len as u64) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::SeedableRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn draws_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(r.gen_index(3) < 3);
+        }
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}
