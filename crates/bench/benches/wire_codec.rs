@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rdma::{Bth, MacAddr, Opcode, Psn, Qpn, RKey, Reth, RocePacket};
+use rdma::{patch_frame, Bth, MacAddr, Opcode, Psn, Qpn, RKey, Reth, RewriteSet, RocePacket};
 use std::net::Ipv4Addr;
 
 fn sample(payload: usize) -> RocePacket {
@@ -63,5 +63,49 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec);
+/// The scatter rewrite every replica copy needs, as a patch set.
+fn scatter_rewrite() -> RewriteSet {
+    RewriteSet {
+        dst_mac: Some(MacAddr::for_ip(Ipv4Addr::new(10, 0, 0, 9))),
+        dst_ip: Some(Ipv4Addr::new(10, 0, 0, 9)),
+        udp_src_port: Some(0xD003),
+        dest_qp: Some(Qpn(0x99)),
+        psn: Some(Psn::new(4321)),
+        va: Some(0xbeef_0000),
+        rkey: Some(RKey(0x0bad_cafe)),
+        ..RewriteSet::default()
+    }
+}
+
+/// Header-only rewrites: the in-place patch (incremental IP checksum +
+/// ICRC delta, payload untouched) against the full re-serialization it
+/// replaces. The gap is the zero-copy fast path's win and must grow with
+/// the payload — re-serialization re-hashes every payload byte, the patch
+/// does constant header-sized work.
+fn bench_patch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_patch");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for payload in [64usize, 512, 8192] {
+        let pkt = sample(payload);
+        let frame = pkt.to_frame();
+        let rw = scatter_rewrite();
+        let mut rewritten = pkt.clone();
+        rw.apply(&mut rewritten);
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("to_frame_full", payload),
+            &rewritten,
+            |b, pkt| b.iter(|| pkt.to_frame()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("patch_frame", payload),
+            &(&frame, &rw),
+            |b, (frame, rw)| b.iter(|| patch_frame(frame, rw).expect("patchable")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_patch);
 criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! Emits BENCH_3.json: the zero-copy fast-path microbenchmarks
+//! (patch_frame vs. full re-serialization), wall-clock for the Figure 5
+//! and Figure 6 sweeps from both the sequential and the parallel runner
+//! (asserting their outputs are identical), and whole-simulation rates
+//! (events/sec, ns per decided consensus operation).
+//!
+//! Run with `cargo run --release -p p4ce-bench --bin bench_trajectory`
+//! (scripts/bench.sh does, and moves the output to the repo root).
+
+use bytes::Bytes;
+use netsim::SimDuration;
+use p4ce_harness::experiments::{fig5_goodput, fig6_latency};
+use p4ce_harness::{run_points, run_points_parallel, PointConfig, System};
+use rdma::{patch_frame, Bth, MacAddr, Opcode, Psn, Qpn, RKey, Reth, RewriteSet, RocePacket};
+use replication::WorkloadSpec;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+fn sample(payload: usize) -> RocePacket {
+    let src_ip = Ipv4Addr::new(10, 0, 0, 1);
+    let dst_ip = Ipv4Addr::new(10, 0, 0, 2);
+    RocePacket {
+        src_mac: MacAddr::for_ip(src_ip),
+        dst_mac: MacAddr::for_ip(dst_ip),
+        src_ip,
+        dst_ip,
+        udp_src_port: 0xC001,
+        bth: Bth {
+            opcode: Opcode::WriteOnly,
+            dest_qp: Qpn(77),
+            psn: Psn::new(1234),
+            ack_req: true,
+        },
+        reth: Some(Reth {
+            va: 0xdead_0000,
+            rkey: RKey(0x1234_5678),
+            dma_len: payload as u32,
+        }),
+        aeth: None,
+        payload: Bytes::from(vec![0x5a; payload]),
+    }
+}
+
+fn scatter_rewrite() -> RewriteSet {
+    RewriteSet {
+        dst_mac: Some(MacAddr::for_ip(Ipv4Addr::new(10, 0, 0, 9))),
+        dst_ip: Some(Ipv4Addr::new(10, 0, 0, 9)),
+        udp_src_port: Some(0xD003),
+        dest_qp: Some(Qpn(0x99)),
+        psn: Some(Psn::new(4321)),
+        va: Some(0xbeef_0000),
+        rkey: Some(RKey(0x0bad_cafe)),
+        ..RewriteSet::default()
+    }
+}
+
+/// Median-of-5 timing of `iters` runs of `f`, in ns per call.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[2]
+}
+
+struct WireRow {
+    payload: usize,
+    full_ns: f64,
+    patch_ns: f64,
+}
+
+fn wire_micro() -> Vec<WireRow> {
+    let mut rows = Vec::new();
+    for payload in [64usize, 512, 8192] {
+        let pkt = sample(payload);
+        let frame = pkt.to_frame();
+        let rw = scatter_rewrite();
+        let mut rewritten = pkt.clone();
+        rw.apply(&mut rewritten);
+        assert_eq!(
+            &*patch_frame(&frame, &rw).expect("patchable").data,
+            &*rewritten.to_frame().data,
+            "patch must equal re-serialization before it is timed"
+        );
+        let full_ns = time_ns(200_000, || {
+            std::hint::black_box(rewritten.to_frame());
+        });
+        let patch_ns = time_ns(200_000, || {
+            std::hint::black_box(patch_frame(&frame, &rw).expect("patchable"));
+        });
+        rows.push(WireRow {
+            payload,
+            full_ns,
+            patch_ns,
+        });
+    }
+    rows
+}
+
+struct SweepTiming {
+    name: &'static str,
+    points: usize,
+    sequential_ms: f64,
+    parallel_ms: f64,
+    threads: usize,
+    total_events: u64,
+    total_decided: u64,
+}
+
+fn time_sweep(name: &'static str, cfgs: Vec<PointConfig>, threads: usize) -> SweepTiming {
+    let t = Instant::now();
+    let seq = run_points(&cfgs);
+    let sequential_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let par = run_points_parallel(&cfgs, threads);
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        seq, par,
+        "{name}: parallel sweep must reproduce the sequential outcomes exactly"
+    );
+    SweepTiming {
+        name,
+        points: cfgs.len(),
+        sequential_ms,
+        parallel_ms,
+        threads,
+        total_events: seq.iter().map(|o| o.events_processed).sum(),
+        total_decided: seq.iter().map(|o| o.decided).sum(),
+    }
+}
+
+struct ConsensusRates {
+    events_per_sec: f64,
+    ns_per_consensus: f64,
+    decided: u64,
+    events: u64,
+}
+
+/// One saturated P4CE point, timed: how fast the simulator chews events
+/// and what one decided consensus operation costs in host time.
+fn consensus_rates() -> ConsensusRates {
+    let mut cfg = PointConfig::new(System::P4ce, 4, WorkloadSpec::closed(16, 512, 0));
+    cfg.window = SimDuration::from_millis(20);
+    let t = Instant::now();
+    let out = p4ce_harness::run_point(&cfg);
+    let wall = t.elapsed();
+    ConsensusRates {
+        events_per_sec: out.events_processed as f64 / wall.as_secs_f64(),
+        ns_per_consensus: wall.as_nanos() as f64 / out.decided.max(1) as f64,
+        decided: out.decided,
+        events: out.events_processed,
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+
+    eprintln!("wire microbenchmarks...");
+    let wire = wire_micro();
+    for r in &wire {
+        eprintln!(
+            "  payload {:>5} B: to_frame {:>8.1} ns, patch_frame {:>7.1} ns ({:.1}x)",
+            r.payload,
+            r.full_ns,
+            r.patch_ns,
+            r.full_ns / r.patch_ns
+        );
+    }
+
+    eprintln!("fig5 sweep (sequential vs {threads}-thread parallel)...");
+    let fig5 = time_sweep(
+        "fig5_goodput",
+        fig5_goodput::configs(
+            &fig5_goodput::default_sizes(),
+            &[2, 4],
+            SimDuration::from_millis(5),
+        ),
+        threads,
+    );
+    eprintln!(
+        "  {} points: sequential {:.0} ms, parallel {:.0} ms",
+        fig5.points, fig5.sequential_ms, fig5.parallel_ms
+    );
+
+    eprintln!("fig6 sweep (sequential vs {threads}-thread parallel)...");
+    let fig6 = time_sweep(
+        "fig6_latency",
+        fig6_latency::configs(
+            &fig6_latency::default_rates(),
+            &[2, 4],
+            SimDuration::from_millis(3),
+        ),
+        threads,
+    );
+    eprintln!(
+        "  {} points: sequential {:.0} ms, parallel {:.0} ms",
+        fig6.points, fig6.sequential_ms, fig6.parallel_ms
+    );
+
+    eprintln!("consensus rates...");
+    let rates = consensus_rates();
+    eprintln!(
+        "  {:.0} events/s, {:.0} ns/consensus ({} decided, {} events)",
+        rates.events_per_sec, rates.ns_per_consensus, rates.decided, rates.events
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"zero_copy_fast_path\",\n");
+    json.push_str("  \"wire_patch\": [\n");
+    for (i, r) in wire.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"payload_bytes\": {}, \"to_frame_ns\": {:.1}, \"patch_frame_ns\": {:.1}, \"speedup\": {:.2}}}{}",
+            r.payload,
+            r.full_ns,
+            r.patch_ns,
+            r.full_ns / r.patch_ns,
+            if i + 1 < wire.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"sweeps\": [\n");
+    for (i, s) in [&fig5, &fig6].into_iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"experiment\": \"{}\", \"points\": {}, \"sequential_wall_ms\": {:.1}, \"parallel_wall_ms\": {:.1}, \"threads\": {}, \"identical_outputs\": true, \"total_events\": {}, \"total_decided\": {}}}{}",
+            s.name,
+            s.points,
+            s.sequential_ms,
+            s.parallel_ms,
+            s.threads,
+            s.total_events,
+            s.total_decided,
+            if i == 0 { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = write!(
+        json,
+        "  \"simulation\": {{\"events_per_sec\": {:.0}, \"ns_per_consensus\": {:.0}, \"decided\": {}, \"events_processed\": {}}}\n}}\n",
+        rates.events_per_sec, rates.ns_per_consensus, rates.decided, rates.events
+    );
+
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    println!("{json}");
+}

@@ -10,7 +10,7 @@ use netsim::SimDuration;
 use replication::WorkloadSpec;
 
 use crate::report::{fmt_f64, TableRow};
-use crate::runner::{run_point, PointConfig, System};
+use crate::runner::{run_points, run_points_parallel, PointConfig, PointOutcome, System};
 
 /// One measured point of Figure 5.
 #[derive(Debug, Clone, Copy)]
@@ -53,24 +53,48 @@ pub fn default_sizes() -> Vec<usize> {
     vec![64, 128, 256, 512, 1024, 2048, 4096, 8192]
 }
 
-/// Runs the full Figure 5 sweep.
-pub fn run(sizes: &[usize], replica_counts: &[usize], window: SimDuration) -> Vec<GoodputRow> {
-    let mut rows = Vec::new();
+/// The full list of point configurations for the sweep, in row order.
+pub fn configs(sizes: &[usize], replica_counts: &[usize], window: SimDuration) -> Vec<PointConfig> {
+    let mut cfgs = Vec::new();
     for &replicas in replica_counts {
         for &system in &[System::Mu, System::P4ce] {
             for &size in sizes {
                 let mut cfg = PointConfig::new(system, replicas, WorkloadSpec::closed(16, size, 0));
                 cfg.window = window;
-                let out = run_point(&cfg);
-                rows.push(GoodputRow {
-                    system,
-                    replicas,
-                    value_size: size,
-                    goodput_gbps: out.goodput_bytes_per_sec / 1e9,
-                    ops_per_sec: out.ops_per_sec,
-                });
+                cfgs.push(cfg);
             }
         }
     }
-    rows
+    cfgs
+}
+
+fn to_row(cfg: &PointConfig, out: &PointOutcome) -> GoodputRow {
+    GoodputRow {
+        system: cfg.system,
+        replicas: cfg.replicas,
+        value_size: cfg.workload.value_size,
+        goodput_gbps: out.goodput_bytes_per_sec / 1e9,
+        ops_per_sec: out.ops_per_sec,
+    }
+}
+
+/// Runs the full Figure 5 sweep sequentially.
+pub fn run(sizes: &[usize], replica_counts: &[usize], window: SimDuration) -> Vec<GoodputRow> {
+    let cfgs = configs(sizes, replica_counts, window);
+    let outs = run_points(&cfgs);
+    cfgs.iter().zip(&outs).map(|(c, o)| to_row(c, o)).collect()
+}
+
+/// Runs the same sweep across `threads` worker threads. Every point is an
+/// isolated virtual-time simulation, so the rows are identical to
+/// [`run`]'s regardless of scheduling.
+pub fn run_parallel(
+    sizes: &[usize],
+    replica_counts: &[usize],
+    window: SimDuration,
+    threads: usize,
+) -> Vec<GoodputRow> {
+    let cfgs = configs(sizes, replica_counts, window);
+    let outs = run_points_parallel(&cfgs, threads);
+    cfgs.iter().zip(&outs).map(|(c, o)| to_row(c, o)).collect()
 }

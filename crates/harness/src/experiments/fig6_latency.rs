@@ -6,10 +6,10 @@
 //! ≈ 2.3 M/s regardless of the replica count.
 
 use netsim::SimDuration;
-use replication::WorkloadSpec;
+use replication::{WorkloadMode, WorkloadSpec};
 
 use crate::report::{fmt_f64, TableRow};
-use crate::runner::{run_point, PointConfig, System};
+use crate::runner::{run_points, run_points_parallel, PointConfig, PointOutcome, System};
 
 /// One point of the latency/throughput curve.
 #[derive(Debug, Clone, Copy)]
@@ -58,9 +58,9 @@ pub fn default_rates() -> Vec<f64> {
     ]
 }
 
-/// Runs the latency-vs-throughput sweep.
-pub fn run(rates: &[f64], replica_counts: &[usize], window: SimDuration) -> Vec<LatencyRow> {
-    let mut rows = Vec::new();
+/// The full list of point configurations for the sweep, in row order.
+pub fn configs(rates: &[f64], replica_counts: &[usize], window: SimDuration) -> Vec<PointConfig> {
+    let mut cfgs = Vec::new();
     for &replicas in replica_counts {
         for &system in &[System::Mu, System::P4ce] {
             for &rate in rates {
@@ -68,17 +68,44 @@ pub fn run(rates: &[f64], replica_counts: &[usize], window: SimDuration) -> Vec<
                     PointConfig::new(system, replicas, WorkloadSpec::open_loop(rate, 64, 0));
                 cfg.window = window;
                 cfg.warmup = SimDuration::from_millis(3);
-                let out = run_point(&cfg);
-                rows.push(LatencyRow {
-                    system,
-                    replicas,
-                    offered_per_sec: rate,
-                    achieved_per_sec: out.ops_per_sec,
-                    mean_latency_us: out.mean_latency_us,
-                    p99_latency_us: out.p99_latency_us,
-                });
+                cfgs.push(cfg);
             }
         }
     }
-    rows
+    cfgs
+}
+
+fn to_row(cfg: &PointConfig, out: &PointOutcome) -> LatencyRow {
+    let WorkloadMode::OpenLoop { rate_per_sec } = cfg.workload.mode else {
+        unreachable!("fig6 points are open-loop by construction")
+    };
+    LatencyRow {
+        system: cfg.system,
+        replicas: cfg.replicas,
+        offered_per_sec: rate_per_sec,
+        achieved_per_sec: out.ops_per_sec,
+        mean_latency_us: out.mean_latency_us,
+        p99_latency_us: out.p99_latency_us,
+    }
+}
+
+/// Runs the latency-vs-throughput sweep sequentially.
+pub fn run(rates: &[f64], replica_counts: &[usize], window: SimDuration) -> Vec<LatencyRow> {
+    let cfgs = configs(rates, replica_counts, window);
+    let outs = run_points(&cfgs);
+    cfgs.iter().zip(&outs).map(|(c, o)| to_row(c, o)).collect()
+}
+
+/// Runs the same sweep across `threads` worker threads. Every point is an
+/// isolated virtual-time simulation, so the rows are identical to
+/// [`run`]'s regardless of scheduling.
+pub fn run_parallel(
+    rates: &[f64],
+    replica_counts: &[usize],
+    window: SimDuration,
+    threads: usize,
+) -> Vec<LatencyRow> {
+    let cfgs = configs(rates, replica_counts, window);
+    let outs = run_points_parallel(&cfgs, threads);
+    cfgs.iter().zip(&outs).map(|(c, o)| to_row(c, o)).collect()
 }

@@ -26,4 +26,4 @@ pub mod runner;
 
 pub use chaos::{ChaosRecorder, ChaosReport, ChaosSpec};
 pub use report::{print_markdown, to_csv, to_markdown, write_csv, TableRow};
-pub use runner::{run_point, PointConfig, PointOutcome, System};
+pub use runner::{run_point, run_points, run_points_parallel, PointConfig, PointOutcome, System};

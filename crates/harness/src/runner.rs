@@ -63,7 +63,11 @@ impl PointConfig {
 }
 
 /// What one point produced.
-#[derive(Debug, Clone, Copy)]
+///
+/// Derives `PartialEq` so sequential and parallel sweeps can be checked
+/// for *identical* results: every field, including `events_processed`, is
+/// a pure function of the [`PointConfig`] in this discrete-event model.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PointOutcome {
     /// Consensus operations decided inside the window.
     pub decided: u64,
@@ -80,6 +84,9 @@ pub struct PointOutcome {
     /// `true` if the leader ended the window on the in-network path
     /// (always `false` for Mu).
     pub accelerated: bool,
+    /// Total simulator events processed over the whole run (setup +
+    /// warm-up + window) — a fingerprint of the virtual-time trajectory.
+    pub events_processed: u64,
 }
 
 fn sanitize(workload: WorkloadSpec) -> WorkloadSpec {
@@ -124,6 +131,7 @@ fn run_mu(cfg: &PointConfig) -> PointOutcome {
     d.member_mut(0).reset_measurements(t0);
     d.sim.run_for(cfg.window);
     let now = d.sim.now();
+    let events_processed = d.sim.events_processed();
     let leader = d.member_mut(0);
     let stats = &mut leader.stats;
     PointOutcome {
@@ -134,6 +142,7 @@ fn run_mu(cfg: &PointConfig) -> PointOutcome {
         p50_latency_us: stats.latency.percentile(50.0).as_micros_f64(),
         p99_latency_us: stats.latency.percentile(99.0).as_micros_f64(),
         accelerated: false,
+        events_processed,
     }
 }
 
@@ -160,6 +169,7 @@ fn run_p4ce(cfg: &PointConfig) -> PointOutcome {
     d.sim.run_for(cfg.window);
     let now = d.sim.now();
     let accelerated = d.leader().is_accelerated();
+    let events_processed = d.sim.events_processed();
     let leader = d.member_mut(0);
     let stats = &mut leader.stats;
     PointOutcome {
@@ -170,5 +180,52 @@ fn run_p4ce(cfg: &PointConfig) -> PointOutcome {
         p50_latency_us: stats.latency.percentile(50.0).as_micros_f64(),
         p99_latency_us: stats.latency.percentile(99.0).as_micros_f64(),
         accelerated,
+        events_processed,
     }
+}
+
+/// Runs every point in order on the calling thread.
+pub fn run_points(cfgs: &[PointConfig]) -> Vec<PointOutcome> {
+    cfgs.iter().map(run_point).collect()
+}
+
+/// Runs the points across `threads` OS threads and returns outcomes in
+/// input order.
+///
+/// Every point is an independent, self-contained discrete-event
+/// simulation seeded from its own [`PointConfig`] — no global state, no
+/// wall-clock dependence — so the outcome vector is *identical* (every
+/// field, including `events_processed`) to [`run_points`] regardless of
+/// thread count or scheduling. Threads pull the next unclaimed index
+/// from a shared counter, which keeps long and short points balanced
+/// without any work-size guessing.
+///
+/// # Panics
+///
+/// Panics if any worker panics (the underlying point panicked), or if
+/// `threads` is zero.
+pub fn run_points_parallel(cfgs: &[PointConfig], threads: usize) -> Vec<PointOutcome> {
+    assert!(threads > 0, "need at least one worker thread");
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, PointOutcome)>> = Mutex::new(Vec::with_capacity(cfgs.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(cfgs.len().max(1)) {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cfg) = cfgs.get(i) else { break };
+                    local.push((i, run_point(cfg)));
+                }
+                results.lock().expect("no poisoned workers").extend(local);
+            });
+        }
+    });
+    let mut indexed = results.into_inner().expect("no poisoned workers");
+    indexed.sort_by_key(|&(i, _)| i);
+    assert_eq!(indexed.len(), cfgs.len(), "every point ran exactly once");
+    indexed.into_iter().map(|(_, o)| o).collect()
 }

@@ -54,6 +54,11 @@ pub struct TimerToken(pub u64);
 
 /// A frame on the wire: the full Ethernet frame from destination MAC through
 /// payload. Layer-1 overhead (preamble/FCS/IFG) is added by the link model.
+///
+/// `Clone` is O(1): the contents are reference-counted [`Bytes`], so the
+/// copies made in transit — delivery, wire taps, multicast fan-out — share
+/// one allocation. Only fault-injected *corruption* materializes a private
+/// buffer (it must, to flip bits without affecting other holders).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Serialized frame contents.

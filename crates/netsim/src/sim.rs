@@ -262,7 +262,9 @@ impl Simulation {
 
     /// Installs a wire tap: every frame `node` transmits on `port` from
     /// now on is recorded with its transmission instant. Read the capture
-    /// with [`Simulation::tap_frames`].
+    /// with [`Simulation::tap_frames`]. Capturing clones the [`Frame`],
+    /// which shares the underlying buffer — taps add no per-byte cost to
+    /// the traffic they observe.
     pub fn tap(&mut self, node: NodeId, port: PortId) -> TapId {
         let id = TapId(self.taps.len());
         self.taps.push(Tap {

@@ -5,6 +5,11 @@
 //!   handed to the replication engine; each copy is rewritten in the
 //!   egress (MACs, IPs, UDP port, destination QP, PSN base, virtual
 //!   address, `R_key`) so every replica believes it talks to the switch.
+//!   The rewrites touch exactly the fields §IV-A's deparser rewrites, so
+//!   the pipeline emits every copy by patching the single serialized
+//!   template of the ingress packet — the payload is never re-serialized
+//!   or re-hashed per replica (see `tofino::Switch` and
+//!   `rdma::PacketTemplate`).
 //! * **Gather** — ACKs arriving on a replica's *Aggr* queue pair bump the
 //!   `NumRecv[psn]` register; the `f`-th positive ACK is rewritten into
 //!   leader terms and forwarded, carrying the *minimum* credit count seen
@@ -508,7 +513,9 @@ impl P4ceProgram {
         (min, skipped)
     }
 
-    /// Rewrites an ACK/NAK from replica space into leader space.
+    /// Rewrites an ACK/NAK from replica space into leader space. Every
+    /// field touched here is header-patchable, so the forwarded ACK rides
+    /// the zero-copy emit path like scattered writes do.
     fn rewrite_ack_for_leader(pkt: &mut RocePacket, group: &Group, endpoint: u8, sw_ip: Ipv4Addr) {
         let replica = &group.replicas[endpoint as usize];
         let dist = replica.start_psn_out.distance_to(pkt.bth.psn);

@@ -39,4 +39,7 @@ pub use opcode::Opcode;
 pub use qp::{PacketPlan, PeerInfo, QpState, QueuePair};
 pub use types::{MacAddr, Permissions, Psn, Qpn, RKey, CM_QPN, DEFAULT_RDMA_MTU, ROCE_UDP_PORT};
 pub use verbs::{Completion, CompletionStatus, WorkRequest, WrId};
-pub use wire::{Aeth, AethKind, Bth, NakCode, ParseError, Reth, RocePacket};
+pub use wire::{
+    patch_frame, Aeth, AethKind, Bth, NakCode, PacketTemplate, ParseError, PatchError, Reth,
+    RewriteSet, RocePacket,
+};

@@ -17,8 +17,23 @@
 //! [RETH]    va(8)★ rkey(4)★ dmalen(4)        (write-first/only, read-req)
 //! [AETH]    syndrome(1)★ msn(3)              (ack, read-response)
 //! payload   …
-//! ICRC      fnv1a(4) over the pseudo-header + transport headers + payload
+//! ICRC      crc32(4) over the pseudo-header + transport headers + payload
 //! ```
+//!
+//! # The zero-copy fast path
+//!
+//! The ICRC is a real CRC-32 (IEEE, reflected), which is *linear* over
+//! GF(2): the checksum of `headers ∥ payload` equals the header CRC
+//! shifted past the payload length, XORed with the payload CRC
+//! ([`crc32_combine`]). Because of that, rewriting header fields never
+//! requires re-hashing the payload: [`patch_frame`] applies a
+//! [`RewriteSet`] — exactly the fields the paper's deparser rewrites
+//! (addresses, UDP source port, QPN, PSN, VA, `R_key`, AETH) — by
+//! mutating the affected bytes in place, updating the IPv4 checksum
+//! incrementally (RFC 1624), and folding the *header-CRC delta* into the
+//! existing ICRC. [`PacketTemplate`] caches the parse offsets and the
+//! payload-length shift operator so a multicast scatter serializes the
+//! packet once and stamps per-replica deltas at O(header) cost per copy.
 //!
 //! The AETH syndrome uses a simplified-but-faithful encoding: bits 7–5
 //! select ACK (`000`), RNR NAK (`001`) or NAK (`011`); for ACKs the low five
@@ -410,9 +425,386 @@ impl RocePacket {
             payload,
         })
     }
+
+    /// Parses a frame and keeps the original bytes alongside the parse as
+    /// a [`PacketTemplate`], so downstream header rewrites can be stamped
+    /// onto the already-serialized bytes instead of re-serializing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RocePacket::parse`].
+    pub fn parse_with_template(frame: &Frame) -> Result<PacketTemplate, ParseError> {
+        let pkt = RocePacket::parse(frame)?;
+        let payload_off = frame.data.len() - pkt.payload.len() - ICRC_LEN;
+        Ok(PacketTemplate {
+            frame: Frame::new(frame.data.clone()),
+            pkt,
+            payload_off,
+        })
+    }
 }
 
-/// Computes the RFC-791 one's-complement checksum of an IPv4 header.
+// Fixed byte offsets inside a serialized RoCE v2 frame (no IP options,
+// RETH and AETH are mutually exclusive so both start right after BTH).
+const IP_OFF: usize = ETH_LEN;
+const IP_CKSUM_OFF: usize = IP_OFF + 10;
+const IP_SRC_OFF: usize = IP_OFF + 12;
+const IP_DST_OFF: usize = IP_OFF + 16;
+const UDP_SPORT_OFF: usize = ETH_LEN + IPV4_LEN;
+const TRANSPORT_OFF: usize = ETH_LEN + IPV4_LEN + UDP_LEN;
+const BTH_QPN_OFF: usize = TRANSPORT_OFF + 4;
+const BTH_PSN_OFF: usize = TRANSPORT_OFF + 8;
+const EXT_OFF: usize = TRANSPORT_OFF + BTH_LEN;
+
+/// The header fields an in-flight rewrite may change without
+/// re-serializing the packet — exactly the set the paper's deparser
+/// rewrites per replica (§IV-A, Table I): addressing, UDP entropy,
+/// destination QP, PSN, the RETH virtual address and `R_key`, and the
+/// AETH of a gathered ACK.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteSet {
+    /// New source MAC.
+    pub src_mac: Option<MacAddr>,
+    /// New destination MAC.
+    pub dst_mac: Option<MacAddr>,
+    /// New source IPv4 address.
+    pub src_ip: Option<Ipv4Addr>,
+    /// New destination IPv4 address.
+    pub dst_ip: Option<Ipv4Addr>,
+    /// New UDP source port.
+    pub udp_src_port: Option<u16>,
+    /// New destination queue pair.
+    pub dest_qp: Option<Qpn>,
+    /// New packet sequence number.
+    pub psn: Option<Psn>,
+    /// New RETH virtual address (requires a RETH-carrying opcode).
+    pub va: Option<u64>,
+    /// New RETH `R_key` (requires a RETH-carrying opcode).
+    pub rkey: Option<RKey>,
+    /// New AETH contents (requires an AETH-carrying opcode).
+    pub aeth: Option<Aeth>,
+}
+
+impl RewriteSet {
+    /// `true` when no field is rewritten.
+    pub fn is_empty(&self) -> bool {
+        *self == RewriteSet::default()
+    }
+
+    /// Applies the rewrites to a parsed packet — the logical counterpart
+    /// of patching the serialized bytes, so
+    /// `patch_frame(&pkt.to_frame(), &rw)` and
+    /// `{ rw.apply(&mut pkt); pkt.to_frame() }` yield identical frames.
+    /// RETH/AETH rewrites are ignored when the packet carries none (the
+    /// byte-level patch reports [`PatchError`] instead).
+    pub fn apply(&self, pkt: &mut RocePacket) {
+        if let Some(v) = self.src_mac {
+            pkt.src_mac = v;
+        }
+        if let Some(v) = self.dst_mac {
+            pkt.dst_mac = v;
+        }
+        if let Some(v) = self.src_ip {
+            pkt.src_ip = v;
+        }
+        if let Some(v) = self.dst_ip {
+            pkt.dst_ip = v;
+        }
+        if let Some(v) = self.udp_src_port {
+            pkt.udp_src_port = v;
+        }
+        if let Some(v) = self.dest_qp {
+            pkt.bth.dest_qp = v;
+        }
+        if let Some(v) = self.psn {
+            pkt.bth.psn = v;
+        }
+        if let Some(reth) = &mut pkt.reth {
+            if let Some(va) = self.va {
+                reth.va = va;
+            }
+            if let Some(rkey) = self.rkey {
+                reth.rkey = rkey;
+            }
+        }
+        if let (Some(slot), Some(aeth)) = (&mut pkt.aeth, self.aeth) {
+            *slot = aeth;
+        }
+    }
+
+    /// The header rewrites turning `from` into `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError::Structural`] when the change cannot be
+    /// expressed as a header patch (different opcode, flags, extension
+    /// presence, DMA length, or payload length) — callers fall back to a
+    /// full [`RocePacket::to_frame`], the model of a deparser emitting a
+    /// structurally new packet.
+    ///
+    /// The data-plane contract is that payload *bytes* are never
+    /// rewritten — match-action stages only see headers, as on the ASIC —
+    /// so equal-length payloads are assumed identical (checked in debug
+    /// builds).
+    pub fn diff(from: &RocePacket, to: &RocePacket) -> Result<RewriteSet, PatchError> {
+        let structural = from.bth.opcode != to.bth.opcode
+            || from.bth.ack_req != to.bth.ack_req
+            || from.reth.is_some() != to.reth.is_some()
+            || from.aeth.is_some() != to.aeth.is_some()
+            || from.reth.map(|r| r.dma_len) != to.reth.map(|r| r.dma_len)
+            || from.payload.len() != to.payload.len();
+        if structural {
+            return Err(PatchError::Structural);
+        }
+        debug_assert_eq!(
+            from.payload, to.payload,
+            "data-plane stages must not rewrite payload bytes"
+        );
+        let delta = |changed: bool| changed.then_some(());
+        Ok(RewriteSet {
+            src_mac: delta(from.src_mac != to.src_mac).map(|()| to.src_mac),
+            dst_mac: delta(from.dst_mac != to.dst_mac).map(|()| to.dst_mac),
+            src_ip: delta(from.src_ip != to.src_ip).map(|()| to.src_ip),
+            dst_ip: delta(from.dst_ip != to.dst_ip).map(|()| to.dst_ip),
+            udp_src_port: delta(from.udp_src_port != to.udp_src_port).map(|()| to.udp_src_port),
+            dest_qp: delta(from.bth.dest_qp != to.bth.dest_qp).map(|()| to.bth.dest_qp),
+            psn: delta(from.bth.psn != to.bth.psn).map(|()| to.bth.psn),
+            va: match (from.reth, to.reth) {
+                (Some(a), Some(b)) if a.va != b.va => Some(b.va),
+                _ => None,
+            },
+            rkey: match (from.reth, to.reth) {
+                (Some(a), Some(b)) if a.rkey != b.rkey => Some(b.rkey),
+                _ => None,
+            },
+            aeth: match (from.aeth, to.aeth) {
+                (Some(a), Some(b)) if a != b => Some(b),
+                _ => None,
+            },
+        })
+    }
+}
+
+/// Why a frame could not be patched in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchError {
+    /// The buffer is not a structurally valid RoCE v2 frame.
+    Malformed,
+    /// The rewrite targets a RETH field but the opcode carries none.
+    NoReth,
+    /// The rewrite targets the AETH but the opcode carries none.
+    NoAeth,
+    /// The change is not expressible as a header patch; re-serialize.
+    Structural,
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::Malformed => write!(f, "not a structurally valid RoCE frame"),
+            PatchError::NoReth => write!(f, "rewrite targets a RETH the opcode does not carry"),
+            PatchError::NoAeth => write!(f, "rewrite targets an AETH the opcode does not carry"),
+            PatchError::Structural => write!(f, "structural change requires re-serialization"),
+        }
+    }
+}
+
+impl Error for PatchError {}
+
+/// Walks the structural headers of a serialized frame and returns the
+/// payload offset (no checksum verification — the frame is trusted to be
+/// internally consistent, e.g. produced by [`RocePacket::to_frame`]).
+fn frame_payload_offset(buf: &[u8]) -> Result<usize, PatchError> {
+    if buf.len() < BASE_OVERHEAD {
+        return Err(PatchError::Malformed);
+    }
+    if u16::from_be_bytes([buf[12], buf[13]]) != 0x0800
+        || buf[IP_OFF] != 0x45
+        || buf[IP_OFF + 9] != 17
+        || u16::from_be_bytes([buf[UDP_SPORT_OFF + 2], buf[UDP_SPORT_OFF + 3]]) != ROCE_UDP_PORT
+    {
+        return Err(PatchError::Malformed);
+    }
+    let opcode = Opcode::from_wire(buf[TRANSPORT_OFF]).ok_or(PatchError::Malformed)?;
+    let mut off = EXT_OFF;
+    if opcode.carries_reth() {
+        off += RETH_LEN;
+    }
+    if opcode.carries_aeth() {
+        off += AETH_LEN;
+    }
+    if buf.len() < off + ICRC_LEN {
+        return Err(PatchError::Malformed);
+    }
+    Ok(off)
+}
+
+/// RFC 1624 incremental one's-complement checksum update: the checksum
+/// after one 16-bit word changes from `old` to `new`.
+fn cksum_update(hc: u16, old: u16, new: u16) -> u16 {
+    let mut sum = u32::from(!hc) + u32::from(!old) + u32::from(new);
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// The raw CRC register over the ICRC-covered header region (pseudo-header
+/// plus transport headers, payload excluded).
+fn header_region_crc(buf: &[u8], payload_off: usize) -> u32 {
+    let src_ip = Ipv4Addr::new(
+        buf[IP_SRC_OFF],
+        buf[IP_SRC_OFF + 1],
+        buf[IP_SRC_OFF + 2],
+        buf[IP_SRC_OFF + 3],
+    );
+    let dst_ip = Ipv4Addr::new(
+        buf[IP_DST_OFF],
+        buf[IP_DST_OFF + 1],
+        buf[IP_DST_OFF + 2],
+        buf[IP_DST_OFF + 3],
+    );
+    let sport = u16::from_be_bytes([buf[UDP_SPORT_OFF], buf[UDP_SPORT_OFF + 1]]);
+    let h = crc32_raw(CRC32_INIT, &icrc_pseudo(src_ip, dst_ip, sport));
+    crc32_raw(h, &buf[TRANSPORT_OFF..payload_off])
+}
+
+/// Applies `rw` to the serialized frame bytes in `buf` (payload offset
+/// already known), fixing the IPv4 checksum incrementally and folding the
+/// header-CRC delta into the ICRC. Never reads the payload bytes.
+fn patch_in_place(buf: &mut [u8], payload_off: usize, rw: &RewriteSet) -> Result<(), PatchError> {
+    let opcode = Opcode::from_wire(buf[TRANSPORT_OFF]).ok_or(PatchError::Malformed)?;
+    if (rw.va.is_some() || rw.rkey.is_some()) && !opcode.carries_reth() {
+        return Err(PatchError::NoReth);
+    }
+    if rw.aeth.is_some() && !opcode.carries_aeth() {
+        return Err(PatchError::NoAeth);
+    }
+
+    let h_old = header_region_crc(buf, payload_off);
+
+    if let Some(mac) = rw.dst_mac {
+        buf[0..6].copy_from_slice(&mac.0);
+    }
+    if let Some(mac) = rw.src_mac {
+        buf[6..12].copy_from_slice(&mac.0);
+    }
+    // IP address rewrites keep the IPv4 header checksum valid via the
+    // RFC 1624 incremental update — no full-header recomputation.
+    for (off, new_octets) in [
+        (IP_SRC_OFF, rw.src_ip.map(|ip| ip.octets())),
+        (IP_DST_OFF, rw.dst_ip.map(|ip| ip.octets())),
+    ] {
+        let Some(octets) = new_octets else { continue };
+        let mut hc = u16::from_be_bytes([buf[IP_CKSUM_OFF], buf[IP_CKSUM_OFF + 1]]);
+        for w in 0..2 {
+            let old = u16::from_be_bytes([buf[off + 2 * w], buf[off + 2 * w + 1]]);
+            let new = u16::from_be_bytes([octets[2 * w], octets[2 * w + 1]]);
+            hc = cksum_update(hc, old, new);
+        }
+        buf[IP_CKSUM_OFF..IP_CKSUM_OFF + 2].copy_from_slice(&hc.to_be_bytes());
+        buf[off..off + 4].copy_from_slice(&octets);
+    }
+    if let Some(sport) = rw.udp_src_port {
+        buf[UDP_SPORT_OFF..UDP_SPORT_OFF + 2].copy_from_slice(&sport.to_be_bytes());
+    }
+    if let Some(qpn) = rw.dest_qp {
+        buf[BTH_QPN_OFF..BTH_QPN_OFF + 4].copy_from_slice(&qpn.masked().to_be_bytes());
+    }
+    if let Some(psn) = rw.psn {
+        buf[BTH_PSN_OFF..BTH_PSN_OFF + 4].copy_from_slice(&psn.value().to_be_bytes());
+    }
+    if let Some(va) = rw.va {
+        buf[EXT_OFF..EXT_OFF + 8].copy_from_slice(&va.to_be_bytes());
+    }
+    if let Some(rkey) = rw.rkey {
+        buf[EXT_OFF + 8..EXT_OFF + 12].copy_from_slice(&rkey.0.to_be_bytes());
+    }
+    if let Some(aeth) = rw.aeth {
+        buf[EXT_OFF] = aeth.syndrome();
+        buf[EXT_OFF + 1..EXT_OFF + 4].copy_from_slice(&aeth.msn.to_be_bytes()[1..4]);
+    }
+
+    // ICRC: CRC-32 is linear, so the delta between the old and new header
+    // CRCs, shifted past the (untouched, un-rehashed) payload, is exactly
+    // the delta of the full-stream ICRC.
+    let h_new = header_region_crc(buf, payload_off);
+    let payload_len = buf.len() - payload_off - ICRC_LEN;
+    let icrc_off = buf.len() - ICRC_LEN;
+    let old_icrc = u32::from_be_bytes(buf[icrc_off..].try_into().expect("slice len"));
+    let new_icrc = old_icrc ^ crc32_shift(h_old ^ h_new, payload_len);
+    buf[icrc_off..].copy_from_slice(&new_icrc.to_be_bytes());
+    Ok(())
+}
+
+/// Rewrites header fields of a serialized frame without re-serializing or
+/// re-hashing the payload: the zero-copy fast path of the switch model.
+///
+/// The input frame must be internally consistent (valid ICRC); the output
+/// then parses to the same packet with `rw` applied. For changes a header
+/// patch cannot express, fall back to [`RocePacket::to_frame`].
+///
+/// # Errors
+///
+/// [`PatchError::Malformed`] when `frame` is not structurally RoCE v2,
+/// [`PatchError::NoReth`]/[`PatchError::NoAeth`] when `rw` targets an
+/// extension header the opcode does not carry.
+pub fn patch_frame(frame: &Frame, rw: &RewriteSet) -> Result<Frame, PatchError> {
+    let payload_off = frame_payload_offset(&frame.data)?;
+    if rw.is_empty() {
+        return Ok(Frame::new(frame.data.clone()));
+    }
+    let mut buf = frame.data.to_vec();
+    patch_in_place(&mut buf, payload_off, rw)?;
+    Ok(Frame::from(buf))
+}
+
+/// A serialized packet plus its parse, ready to be stamped out with
+/// per-copy header rewrites — the model of the replication engine handing
+/// identical copies to per-port deparsers that each rewrite a handful of
+/// fields (§IV-B).
+///
+/// The template is built once per ingress packet; every
+/// [`PacketTemplate::instantiate`] costs one buffer copy plus a
+/// header-sized CRC, independent of payload length.
+#[derive(Debug, Clone)]
+pub struct PacketTemplate {
+    frame: Frame,
+    pkt: RocePacket,
+    payload_off: usize,
+}
+
+impl PacketTemplate {
+    /// The parsed packet the template was built from.
+    pub fn packet(&self) -> &RocePacket {
+        &self.pkt
+    }
+
+    /// The serialized frame the template stamps copies from.
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// Emits a frame equal to `target.to_frame()` by patching the template
+    /// bytes, provided `target` differs from the template's packet only in
+    /// patchable header fields.
+    ///
+    /// # Errors
+    ///
+    /// [`PatchError::Structural`] when `target` changed opcode, flags,
+    /// extension presence, DMA length or payload length — the caller
+    /// must re-serialize.
+    pub fn instantiate(&self, target: &RocePacket) -> Result<Frame, PatchError> {
+        let rw = RewriteSet::diff(&self.pkt, target)?;
+        if rw.is_empty() {
+            // Untouched copy: share the template bytes outright.
+            return Ok(Frame::new(self.frame.data.clone()));
+        }
+        let mut buf = self.frame.data.to_vec();
+        patch_in_place(&mut buf, self.payload_off, &rw)?;
+        Ok(Frame::from(buf))
+    }
+}
 /// Returns 0 when validating a header whose checksum field is correct.
 pub fn ipv4_checksum(header: &[u8]) -> u16 {
     let mut sum: u32 = 0;
@@ -429,36 +821,144 @@ pub fn ipv4_checksum(header: &[u8]) -> u16 {
     !(sum as u16)
 }
 
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected) with GF(2) combine support
+// ---------------------------------------------------------------------
+
+const CRC32_POLY: u32 = 0xedb8_8320;
+const CRC32_INIT: u32 = 0xffff_ffff;
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                CRC32_POLY ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Advances the raw (unconditioned) CRC register over `data`.
+fn crc32_raw(init: u32, data: &[u8]) -> u32 {
+    let mut c = init;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// The CRC-32 of `data` (init and final XOR `0xffff_ffff`, as in zlib).
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_raw(CRC32_INIT, data)
+}
+
+/// Applies the GF(2) matrix `mat` to the bit-vector `vec`.
+const fn gf2_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// Squares a GF(2) matrix.
+const fn gf2_square(mat: &[u32; 32]) -> [u32; 32] {
+    let mut sq = [0u32; 32];
+    let mut n = 0;
+    while n < 32 {
+        sq[n] = gf2_times(mat, mat[n]);
+        n += 1;
+    }
+    sq
+}
+
+/// `SHIFT_MATRICES[k]` is the linear operator advancing a CRC register
+/// past `2^k` zero *bytes*; composing the operators for the set bits of a
+/// length shifts past that many bytes in O(popcount) matrix applications.
+/// Built at compile time by repeated squaring of the one-bit operator.
+const SHIFT_MATRICES: [[u32; 32]; 32] = {
+    // The operator for a single zero *bit*: bit 0 folds into the
+    // polynomial, every other bit moves down one position.
+    let mut bit = [0u32; 32];
+    bit[0] = CRC32_POLY;
+    let mut n = 1;
+    while n < 32 {
+        bit[n] = 1 << (n - 1);
+        n += 1;
+    }
+    // Square three times: 1 bit → 2 → 4 → 8 bits = one byte.
+    let byte = gf2_square(&gf2_square(&gf2_square(&bit)));
+    let mut out = [[0u32; 32]; 32];
+    out[0] = byte;
+    let mut k = 1;
+    while k < 32 {
+        out[k] = gf2_square(&out[k - 1]);
+        k += 1;
+    }
+    out
+};
+
+/// Advances a CRC register past `len` zero bytes — equivalently,
+/// multiplies it by `x^(8·len)` in GF(2)[x] modulo the CRC polynomial.
+fn crc32_shift(mut crc: u32, mut len: usize) -> u32 {
+    let mut k = 0;
+    while len != 0 && crc != 0 {
+        if len & 1 != 0 {
+            crc = gf2_times(&SHIFT_MATRICES[k], crc);
+        }
+        len >>= 1;
+        k += 1;
+    }
+    crc
+}
+
+/// Combines two CRC-32s: given `crc1 = crc32(a)` and `crc2 = crc32(b)`,
+/// returns `crc32(a ∥ b)` where `len2 = b.len()` — without touching the
+/// underlying bytes (zlib's `crc32_combine`).
+pub fn crc32_combine(crc1: u32, crc2: u32, len2: usize) -> u32 {
+    crc32_shift(crc1, len2) ^ crc2
+}
+
+/// The ICRC pseudo-header: the address fields endpoints verify but the
+/// IP/UDP layers may legitimately rewrite checksums around.
+fn icrc_pseudo(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, udp_src_port: u16) -> [u8; 10] {
+    let mut p = [0u8; 10];
+    p[..4].copy_from_slice(&src_ip.octets());
+    p[4..8].copy_from_slice(&dst_ip.octets());
+    p[8..10].copy_from_slice(&udp_src_port.to_be_bytes());
+    p
+}
+
 /// The integrity checksum covering the fields RDMA endpoints verify.
 ///
-/// Real RoCE uses CRC32 over the invariant fields; we use FNV-1a over a
-/// pseudo-header (addresses + source port) plus the transport bytes. The
-/// property that matters is preserved: any in-flight rewrite of a covered
-/// field forces whoever rewrote it to recompute the checksum.
+/// CRC-32 over a pseudo-header (addresses + source port) plus the
+/// transport bytes and payload. Any in-flight rewrite of a covered field
+/// forces whoever rewrote it to recompute the checksum — but because
+/// CRC-32 is linear, a header-only rewrite can do so from the header
+/// bytes alone (see [`patch_frame`]).
 pub fn icrc_compute(
     src_ip: Ipv4Addr,
     dst_ip: Ipv4Addr,
     udp_src_port: u16,
     transport: &[u8],
 ) -> u32 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |byte: u8| {
-        h ^= u64::from(byte);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    };
-    for b in src_ip.octets() {
-        eat(b);
-    }
-    for b in dst_ip.octets() {
-        eat(b);
-    }
-    for b in udp_src_port.to_be_bytes() {
-        eat(b);
-    }
-    for &b in transport {
-        eat(b);
-    }
-    (h >> 32) as u32 ^ (h as u32)
+    let h = crc32_raw(CRC32_INIT, &icrc_pseudo(src_ip, dst_ip, udp_src_port));
+    !crc32_raw(h, transport)
 }
 
 /// Why a frame failed to parse as RoCE v2.
@@ -656,5 +1156,168 @@ mod tests {
             msn: 0,
         };
         assert_eq!(a.syndrome(), MAX_CREDITS);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_combine_equals_concatenation() {
+        let a = b"the header region of a packet";
+        let b = b"and a payload the patcher never re-reads";
+        assert_eq!(
+            crc32_combine(crc32(a), crc32(b), b.len()),
+            crc32(&[&a[..], &b[..]].concat())
+        );
+        // Degenerate lengths.
+        assert_eq!(crc32_combine(crc32(a), crc32(b""), 0), crc32(a));
+        let zeros = vec![0u8; 8192];
+        assert_eq!(
+            crc32_combine(crc32(a), crc32(&zeros), zeros.len()),
+            crc32(&[&a[..], &zeros[..]].concat())
+        );
+    }
+
+    #[test]
+    fn empty_patch_shares_bytes_unchanged() {
+        let frame = sample_write().to_frame();
+        let out = patch_frame(&frame, &RewriteSet::default()).expect("patch");
+        assert_eq!(out.data, frame.data);
+    }
+
+    #[test]
+    fn patch_matches_full_reserialization() {
+        let pkt = sample_write();
+        let frame = pkt.to_frame();
+        let rw = RewriteSet {
+            dst_mac: Some(MacAddr::for_ip(Ipv4Addr::new(10, 0, 0, 7))),
+            dst_ip: Some(Ipv4Addr::new(10, 0, 0, 7)),
+            udp_src_port: Some(0xD005),
+            dest_qp: Some(Qpn(0x777)),
+            psn: Some(Psn::new(4242)),
+            va: Some(0x1_0000),
+            rkey: Some(RKey(0x5555_aaaa)),
+            ..RewriteSet::default()
+        };
+        let patched = patch_frame(&frame, &rw).expect("patch");
+        let mut expect = pkt.clone();
+        rw.apply(&mut expect);
+        assert_eq!(&*patched.data, &*expect.to_frame().data);
+        // And it parses with a valid IPv4 checksum and ICRC.
+        let back = RocePacket::parse(&patched).expect("parse patched");
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn patch_rewrites_aeth_on_acks() {
+        let src_ip = Ipv4Addr::new(10, 0, 0, 2);
+        let pkt = RocePacket {
+            src_mac: MacAddr::for_ip(src_ip),
+            dst_mac: MacAddr::for_ip(src_ip),
+            src_ip,
+            dst_ip: src_ip,
+            udp_src_port: 7,
+            bth: Bth {
+                opcode: Opcode::Acknowledge,
+                dest_qp: Qpn(9),
+                psn: Psn::new(5),
+                ack_req: false,
+            },
+            reth: None,
+            aeth: Some(Aeth {
+                kind: AethKind::Ack { credits: 31 },
+                msn: 5,
+            }),
+            payload: Bytes::new(),
+        };
+        let rw = RewriteSet {
+            aeth: Some(Aeth {
+                kind: AethKind::Ack { credits: 3 },
+                msn: 5,
+            }),
+            ..RewriteSet::default()
+        };
+        let patched = patch_frame(&pkt.to_frame(), &rw).expect("patch");
+        let back = RocePacket::parse(&patched).expect("parse");
+        assert_eq!(back.aeth, rw.aeth);
+    }
+
+    #[test]
+    fn patch_rejects_extension_rewrites_the_opcode_lacks() {
+        let mut ack = sample_write();
+        ack.bth.opcode = Opcode::Acknowledge;
+        ack.reth = None;
+        ack.payload = Bytes::new();
+        ack.aeth = Some(Aeth {
+            kind: AethKind::Ack { credits: 1 },
+            msn: 0,
+        });
+        let frame = ack.to_frame();
+        let rw = RewriteSet {
+            va: Some(42),
+            ..RewriteSet::default()
+        };
+        assert_eq!(patch_frame(&frame, &rw), Err(PatchError::NoReth));
+
+        let write_frame = sample_write().to_frame();
+        let rw = RewriteSet {
+            aeth: Some(Aeth {
+                kind: AethKind::Ack { credits: 1 },
+                msn: 0,
+            }),
+            ..RewriteSet::default()
+        };
+        assert_eq!(patch_frame(&write_frame, &rw), Err(PatchError::NoAeth));
+    }
+
+    #[test]
+    fn template_instantiate_matches_to_frame() {
+        let pkt = sample_write();
+        let template = RocePacket::parse_with_template(&pkt.to_frame()).expect("template");
+        let mut target = template.packet().clone();
+        target.dst_ip = Ipv4Addr::new(10, 0, 0, 9);
+        target.dst_mac = MacAddr::for_ip(target.dst_ip);
+        target.bth.dest_qp = Qpn(0x200);
+        target.bth.psn = Psn::new(99);
+        if let Some(reth) = &mut target.reth {
+            reth.va += 0x4000;
+            reth.rkey = RKey(0xfeed);
+        }
+        let fast = template.instantiate(&target).expect("instantiate");
+        assert_eq!(&*fast.data, &*target.to_frame().data);
+    }
+
+    #[test]
+    fn template_reports_structural_changes() {
+        let pkt = sample_write();
+        let template = RocePacket::parse_with_template(&pkt.to_frame()).expect("template");
+        let mut target = template.packet().clone();
+        target.payload = Bytes::from(vec![1u8; 65]); // length change
+        assert_eq!(template.instantiate(&target), Err(PatchError::Structural));
+        let mut target = template.packet().clone();
+        target.bth.ack_req = !target.bth.ack_req;
+        assert_eq!(template.instantiate(&target), Err(PatchError::Structural));
+    }
+
+    #[test]
+    fn incremental_ip_checksum_stays_valid() {
+        // Adversarial addresses for the one's-complement arithmetic.
+        for dst in [
+            Ipv4Addr::new(0, 0, 0, 0),
+            Ipv4Addr::new(255, 255, 255, 255),
+            Ipv4Addr::new(0xff, 0xff, 0, 0),
+            Ipv4Addr::new(1, 2, 3, 4),
+        ] {
+            let rw = RewriteSet {
+                dst_ip: Some(dst),
+                ..RewriteSet::default()
+            };
+            let patched = patch_frame(&sample_write().to_frame(), &rw).expect("patch");
+            assert_eq!(ipv4_checksum(&patched.data[ETH_LEN..ETH_LEN + IPV4_LEN]), 0);
+        }
     }
 }

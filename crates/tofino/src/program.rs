@@ -68,6 +68,13 @@ pub trait ControlOps {
 
 /// A program loaded on the switch: data plane (ingress/egress, line rate)
 /// plus control plane (CPU packets, timers).
+///
+/// **Data-plane contract:** `ingress` and `egress` may rewrite *header*
+/// fields of the packet but never the payload bytes — match-action stages
+/// on the ASIC only ever see headers. The pipeline relies on this to emit
+/// copies by patching the original serialized bytes
+/// ([`rdma::PacketTemplate`]) instead of re-serializing; payload
+/// immutability is checked in debug builds.
 pub trait SwitchProgram: 'static {
     /// Called once at simulation start (control plane context).
     fn on_start(&mut self, ops: &mut dyn ControlOps) {

@@ -15,9 +15,10 @@
 //!   Mpps ACK-aggregation fix.
 
 use netsim::{Context, Cpu, Frame, Node, PortId, SimDuration, SimTime, TimerToken};
-use rdma::RocePacket;
+use rdma::{PacketTemplate, RocePacket};
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use crate::mcast::{McastMember, MulticastGroupId, MulticastGroups};
 use crate::program::{
@@ -73,6 +74,12 @@ pub struct SwitchStats {
     pub punted: u64,
     /// Frames that failed to parse.
     pub parse_errors: u64,
+    /// Frames emitted through the zero-copy fast path: the original bytes
+    /// forwarded as-is or with header fields patched in place.
+    pub emitted_patched: u64,
+    /// Frames emitted through the slow path: a full re-serialization
+    /// because the program changed the packet structurally.
+    pub emitted_reserialized: u64,
 }
 
 const TK_INGRESS: u64 = 1 << 56;
@@ -83,10 +90,21 @@ const TK_CTRL: u64 = 5 << 56;
 const TK_CLASS_MASK: u64 = 0xff << 56;
 const TK_DATA_MASK: u64 = !TK_CLASS_MASK;
 
+/// A packet travelling the pipeline: the mutable parsed view the
+/// program's stages rewrite, plus the original serialized bytes, shared
+/// (not copied) across every multicast clone. Emission patches the
+/// template with whatever headers the stages changed — each byte of the
+/// payload is touched at most once per ingress packet, as on the ASIC.
+#[derive(Debug, Clone)]
+struct PacketLane {
+    pkt: RocePacket,
+    template: Arc<PacketTemplate>,
+}
+
 #[derive(Debug)]
 enum Stashed {
     RawFrame(Frame, PortId),
-    AtEgress(RocePacket, PortId, u16),
+    AtEgress(PacketLane, PortId, u16),
     ForCpu(RocePacket),
 }
 
@@ -212,13 +230,16 @@ impl<P: SwitchProgram> Switch<P> {
     }
 
     fn run_ingress(&mut self, frame: Frame, port: PortId, ctx: &mut Context<'_>) {
-        let mut pkt = match RocePacket::parse(&frame) {
-            Ok(p) => p,
+        // Parse once, keeping the original bytes as the template every
+        // copy of this packet is later stamped from.
+        let template = match RocePacket::parse_with_template(&frame) {
+            Ok(t) => Arc::new(t),
             Err(_) => {
                 self.shared.stats.parse_errors += 1;
                 return;
             }
         };
+        let mut pkt = template.packet().clone();
         let meta = IngressMeta { ingress_port: port };
         let verdict = self.program.ingress(&mut pkt, meta, &self.shared);
         match verdict {
@@ -226,7 +247,7 @@ impl<P: SwitchProgram> Switch<P> {
                 self.shared.stats.dropped_ingress += 1;
             }
             IngressVerdict::Unicast(out) => {
-                let id = self.stash_put(Stashed::AtEgress(pkt, out, 0));
+                let id = self.stash_put(Stashed::AtEgress(PacketLane { pkt, template }, out, 0));
                 ctx.schedule(self.shared.cfg.pipeline_latency, TimerToken(TK_EGRESS | id));
             }
             IngressVerdict::Multicast(gid) => {
@@ -242,7 +263,13 @@ impl<P: SwitchProgram> Switch<P> {
                 }
                 for m in members {
                     self.shared.stats.multicast_copies += 1;
-                    let id = self.stash_put(Stashed::AtEgress(pkt.clone(), m.port, m.rid));
+                    // Clones share the payload bytes and the serialized
+                    // template; only the parsed header view is per copy.
+                    let lane = PacketLane {
+                        pkt: pkt.clone(),
+                        template: Arc::clone(&template),
+                    };
+                    let id = self.stash_put(Stashed::AtEgress(lane, m.port, m.rid));
                     ctx.schedule(self.shared.cfg.pipeline_latency, TimerToken(TK_EGRESS | id));
                 }
             }
@@ -288,7 +315,7 @@ impl<P: SwitchProgram> Node for Switch<P> {
                 self.run_ingress(frame, port, ctx);
             }
             TK_EGRESS => {
-                let Some(Stashed::AtEgress(pkt, port, rid)) = self.stash.remove(&data) else {
+                let Some(Stashed::AtEgress(lane, port, rid)) = self.stash.remove(&data) else {
                     return;
                 };
                 let parser = &mut self.egress_parsers[port.index()];
@@ -297,24 +324,37 @@ impl<P: SwitchProgram> Node for Switch<P> {
                         self.shared.stats.parser_overflow_drops += 1;
                     }
                     Some(done) => {
-                        let id = self.stash_put(Stashed::AtEgress(pkt, port, rid));
+                        let id = self.stash_put(Stashed::AtEgress(lane, port, rid));
                         ctx.schedule_at(done, TimerToken(TK_EMIT | id));
                     }
                 }
             }
             TK_EMIT => {
-                let Some(Stashed::AtEgress(mut pkt, port, rid)) = self.stash.remove(&data) else {
+                let Some(Stashed::AtEgress(mut lane, port, rid)) = self.stash.remove(&data) else {
                     return;
                 };
                 let meta = EgressMeta {
                     egress_port: port,
                     rid,
                 };
-                if self.program.egress(&mut pkt, meta, &self.shared) {
+                if self.program.egress(&mut lane.pkt, meta, &self.shared) {
                     self.shared.stats.forwarded += 1;
-                    // The deparser re-serializes, recomputing checksums
-                    // over whatever the pipeline rewrote.
-                    ctx.send(port, pkt.to_frame());
+                    // The deparser stamps whatever headers the pipeline
+                    // stages rewrote onto the original bytes, fixing the
+                    // checksums incrementally; only a structural change
+                    // (different opcode, extension set or length) costs a
+                    // full re-serialization.
+                    let frame = match lane.template.instantiate(&lane.pkt) {
+                        Ok(f) => {
+                            self.shared.stats.emitted_patched += 1;
+                            f
+                        }
+                        Err(_) => {
+                            self.shared.stats.emitted_reserialized += 1;
+                            lane.pkt.to_frame()
+                        }
+                    };
+                    ctx.send(port, frame);
                 } else {
                     self.shared.stats.dropped_egress += 1;
                 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Benchmark trajectory: criterion microbenches for the packet codec and
+# the switch/simulator hot loops, then the timed experiment sweeps
+# (sequential vs parallel runner, outputs asserted identical), written to
+# BENCH_3.json at the repo root.
+#
+#   ./scripts/bench.sh           # criterion smoke + BENCH_3.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> criterion: wire_codec (serialize/parse/patch)"
+cargo bench -p p4ce-bench --bench wire_codec
+
+echo "==> criterion: sim_consensus (whole-cluster event loop)"
+cargo bench -p p4ce-bench --bench sim_consensus
+
+echo "==> criterion: switch_registers (scatter/gather primitives)"
+cargo bench -p p4ce-bench --bench switch_registers
+
+echo "==> timed sweeps -> BENCH_3.json"
+cargo run --release -p p4ce-bench --bin bench_trajectory
+
+echo "bench: BENCH_3.json written"

@@ -20,7 +20,11 @@ use std::sync::Arc;
 /// view without copying.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    // Arc<Vec<u8>> rather than Arc<[u8]>: converting a Vec into Arc<[u8]>
+    // reallocates and copies, which would make every `BytesMut::freeze`
+    // an extra full-buffer copy. The real crate takes ownership of the
+    // Vec's buffer without copying; this matches that cost model.
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -92,7 +96,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }
