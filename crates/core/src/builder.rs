@@ -38,6 +38,9 @@ pub struct ClusterBuilder {
     tweak_rx_capacity: Vec<(usize, usize)>,
     tweak_rx_cost: Vec<(usize, SimDuration)>,
     timing: Option<ProtocolTiming>,
+    log_size: Option<usize>,
+    skip_epoch_revoke: bool,
+    reaccel_period: Option<SimDuration>,
 }
 
 impl ClusterBuilder {
@@ -61,6 +64,9 @@ impl ClusterBuilder {
             tweak_rx_capacity: Vec::new(),
             tweak_rx_cost: Vec::new(),
             timing: None,
+            log_size: None,
+            skip_epoch_revoke: false,
+            reaccel_period: None,
         }
     }
 
@@ -122,6 +128,39 @@ impl ClusterBuilder {
         self
     }
 
+    /// Overrides each member's replicated-log size (default 16 MiB).
+    /// Model-checking runs shrink it so thousands of re-executions stay
+    /// cheap.
+    pub fn log_size(mut self, bytes: usize) -> Self {
+        self.log_size = Some(bytes);
+        self
+    }
+
+    /// **Test-only mutation**: disable old-epoch grant revocation (see
+    /// [`P4ceMemberConfig::skip_epoch_revoke`]). Used by the explorer to
+    /// prove its single-writer oracle catches the bug.
+    pub fn skip_epoch_revoke(mut self, enable: bool) -> Self {
+        self.skip_epoch_revoke = enable;
+        self
+    }
+
+    /// Runs the cluster behind a plain (non-P4CE) fabric: the switch
+    /// ignores group requests, so leaders fall back to direct
+    /// replication (§III-A).
+    pub fn p4ce_enabled(mut self, enable: bool) -> Self {
+        self.switch_cfg.p4ce_enabled = enable;
+        self
+    }
+
+    /// Overrides how long a leader waits on the switch before falling
+    /// back to direct replication (and how often it re-probes for
+    /// acceleration). Model-checking runs shrink it so fallback
+    /// scenarios stay cheap.
+    pub fn reaccel_period(mut self, period: SimDuration) -> Self {
+        self.reaccel_period = Some(period);
+        self
+    }
+
     /// Overrides the switch's per-parser packet cost (scaled-down parser
     /// budgets for the §IV-D ablation).
     pub fn parser_cost(mut self, cost: SimDuration) -> Self {
@@ -159,6 +198,9 @@ impl ClusterBuilder {
         if let Some(timing) = self.timing {
             cluster.timing = timing;
         }
+        if let Some(bytes) = self.log_size {
+            cluster.log_size = bytes;
+        }
         let mut sim = Simulation::new(self.seed);
 
         let mut members = Vec::new();
@@ -166,6 +208,10 @@ impl ClusterBuilder {
             let mut mcfg = P4ceMemberConfig::new(cluster.clone(), MemberId(i as u8), switch_ip);
             mcfg.workload = self.workload;
             mcfg.async_reconfig = self.async_reconfig;
+            mcfg.skip_epoch_revoke = self.skip_epoch_revoke;
+            if let Some(period) = self.reaccel_period {
+                mcfg.reaccel_period = period;
+            }
             if self.backup_fabric {
                 // Ports follow connection order: the primary fabric is
                 // connected first (port 0), the backup second (port 1).

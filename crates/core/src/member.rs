@@ -76,6 +76,12 @@ pub struct P4ceMemberConfig {
     /// Keep replicating through the old group (or directly) while the
     /// switch reconfigures — the asynchronous variant of §V-E's Lesson 3.
     pub async_reconfig: bool,
+    /// **Test-only mutation**: on an epoch change, skip revoking the old
+    /// epoch's write grants (the safety-critical step of §III's
+    /// permission-switch protocol). Exists so the model checker's
+    /// single-writer oracle can prove it catches the bug; never enable
+    /// outside the explorer's mutation-check mode.
+    pub skip_epoch_revoke: bool,
 }
 
 impl P4ceMemberConfig {
@@ -90,6 +96,7 @@ impl P4ceMemberConfig {
             path_failover_delay: SimDuration::from_millis(55),
             reaccel_period: SimDuration::from_millis(100),
             async_reconfig: false,
+            skip_epoch_revoke: false,
         }
     }
 }
@@ -316,6 +323,32 @@ impl P4ceMember {
         self.views.leader()
     }
 
+    /// Handle of this member's replicated-log region, once registered.
+    /// Invariant oracles pair it with [`rdma::Host::memory`] to audit who
+    /// holds write permission on the log.
+    pub fn log_region(&self) -> Option<RegionHandle> {
+        self.log_region
+    }
+
+    /// The leader whose epoch the current log-write grants belong to
+    /// (`None` before the first grant).
+    pub fn epoch_leader(&self) -> Option<Ipv4Addr> {
+        self.epoch_leader
+    }
+
+    /// Peers this member has granted log-write permission to in the
+    /// current epoch (its own bookkeeping; the NIC-enforced truth lives
+    /// in [`rdma::Host::memory`]).
+    pub fn granted_ips(&self) -> &BTreeSet<Ipv4Addr> {
+        &self.granted_ips
+    }
+
+    /// Sequence number the next applied entry must carry — applied
+    /// entries are exactly `0..next_apply_seq`, in order.
+    pub fn next_apply_seq(&self) -> u64 {
+        self.next_apply_seq
+    }
+
     /// Clears the measurement window (latency samples and throughput),
     /// restarting it at `now`.
     pub fn reset_measurements(&mut self, now: SimTime) {
@@ -463,15 +496,7 @@ impl P4ceMember {
         } else if !i_lead {
             self.i_am_leader = false;
             self.comm = Comm::Down;
-            // Fence out the deposed leader's grants.
-            if let Some(region) = self.log_region {
-                for ip in std::mem::take(&mut self.granted_ips) {
-                    ops.revoke(region, ip);
-                }
-                self.view_writer_qpns.clear();
-                ops.set_allowed_writer_qpns(region, Some(self.view_writer_qpns.clone()));
-                self.epoch_leader = None;
-            }
+            self.fence_log(ops);
         }
     }
 
@@ -544,11 +569,34 @@ impl P4ceMember {
         }
     }
 
+    /// Fences out the deposed leader's grants on this member's own log:
+    /// revoke every granted IP, close the QPN allowlist, forget the
+    /// epoch. Runs on every epoch boundary (view change while not
+    /// leading, and taking over leadership) — unless the test-only
+    /// `skip_epoch_revoke` mutation is armed, which models precisely
+    /// this fence being forgotten so the explorer's single-writer
+    /// oracle has a real bug to catch.
+    fn fence_log(&mut self, ops: &mut HostOps<'_, '_>) {
+        if self.cfg.skip_epoch_revoke {
+            return;
+        }
+        if let Some(region) = self.log_region {
+            for ip in std::mem::take(&mut self.granted_ips) {
+                ops.revoke(region, ip);
+            }
+            self.view_writer_qpns.clear();
+            ops.set_allowed_writer_qpns(region, Some(self.view_writer_qpns.clone()));
+            self.epoch_leader = None;
+        }
+    }
+
     fn become_leader(&mut self, view: u64, ops: &mut HostOps<'_, '_>) {
         self.i_am_leader = true;
         self.comm = Comm::Down;
         self.workload_started = false;
         self.first_decision_pending = true;
+        // A new leader's own log is also an old-epoch log.
+        self.fence_log(ops);
         self.stats
             .event(ops.now(), MemberEvent::BecameLeader { view });
         self.writer
@@ -1074,8 +1122,11 @@ impl P4ceMember {
         let region = self.log_region.expect("registered at start");
         // New epoch? Revoke everything from the previous leader.
         if self.epoch_leader != Some(d.leader_ip) {
-            for ip in std::mem::take(&mut self.granted_ips) {
-                ops.revoke(region, ip);
+            let stale = std::mem::take(&mut self.granted_ips);
+            if !self.cfg.skip_epoch_revoke {
+                for ip in stale {
+                    ops.revoke(region, ip);
+                }
             }
             self.view_writer_qpns.clear();
             self.epoch_leader = Some(d.leader_ip);

@@ -23,6 +23,9 @@ use netsim::{FaultPlan, FaultStats, NodeId, PortId, SimDuration, SimTime, Simula
 use rdma::Host;
 use replication::{LogEntry, StateMachine};
 
+use crate::repro::Repro;
+use crate::runner::System;
+
 /// Everything a chaos run perturbs, derived deterministically from one
 /// seed by [`ChaosSpec::seeded`]. All instants are offsets from the
 /// storm start (the moment fault plans are installed), so the same spec
@@ -105,6 +108,71 @@ impl ChaosSpec {
             drain: SimDuration::from_millis(5),
             propose_every: SimDuration::from_micros(20),
         }
+    }
+
+    /// Serializes the spec (plus the deployment shape) as a `kind=chaos`
+    /// reproducer, the chaos counterpart of
+    /// [`crate::explore::ExploreSpec::to_repro`].
+    pub fn to_repro(&self, system: System, n_members: usize) -> Repro {
+        let mut r = Repro::new("chaos");
+        r.set(
+            "system",
+            match system {
+                System::P4ce => "p4ce",
+                System::Mu => "mu",
+            },
+        );
+        r.set("members", n_members);
+        r.set("seed", self.seed);
+        r.set("loss", self.loss);
+        r.set("duplicate", self.duplicate);
+        r.set("reorder", self.reorder);
+        r.set("reorder_window_ns", self.reorder_window.as_nanos());
+        r.set("jitter_ns", self.jitter.as_nanos());
+        r.set("corrupt", self.corrupt);
+        r.set("partition_member", self.partition_member);
+        r.set("partition_from_ns", self.partition_from.as_nanos());
+        r.set("partition_until_ns", self.partition_until.as_nanos());
+        r.set("storm_ns", self.storm.as_nanos());
+        r.set("drain_ns", self.drain.as_nanos());
+        r.set("propose_every_ns", self.propose_every.as_nanos());
+        r
+    }
+
+    /// Decodes a `kind=chaos` reproducer back into a runnable
+    /// `(system, n_members, spec)` triple.
+    ///
+    /// # Errors
+    ///
+    /// Reports a wrong kind or a missing/unparseable field.
+    pub fn from_repro(r: &Repro) -> Result<(System, usize, ChaosSpec), String> {
+        if r.kind != "chaos" {
+            return Err(format!("not a chaos reproducer: kind={}", r.kind));
+        }
+        let system = match r.get("system") {
+            Some("p4ce") | None => System::P4ce,
+            Some("mu") => System::Mu,
+            other => return Err(format!("bad system {other:?}")),
+        };
+        let ns = |key: &str| -> Result<SimDuration, String> {
+            Ok(SimDuration::from_nanos(r.parse::<u64>(key)?))
+        };
+        let spec = ChaosSpec {
+            seed: r.parse("seed")?,
+            loss: r.parse("loss")?,
+            duplicate: r.parse("duplicate")?,
+            reorder: r.parse("reorder")?,
+            reorder_window: ns("reorder_window_ns")?,
+            jitter: ns("jitter_ns")?,
+            corrupt: r.parse("corrupt")?,
+            partition_member: r.parse("partition_member")?,
+            partition_from: ns("partition_from_ns")?,
+            partition_until: ns("partition_until_ns")?,
+            storm: ns("storm_ns")?,
+            drain: ns("drain_ns")?,
+            propose_every: ns("propose_every_ns")?,
+        };
+        Ok((system, r.parse("members")?, spec))
     }
 }
 
@@ -421,6 +489,120 @@ pub fn run_mu(spec: &ChaosSpec, n_members: usize) -> ChaosReport {
     chaos_body!(spec, n, d, mu::MuMember)
 }
 
+/// Runs a decoded `kind=chaos` reproducer.
+///
+/// # Errors
+///
+/// Reports a malformed reproducer.
+///
+/// # Panics
+///
+/// Panics exactly where the original failing run did — replaying a
+/// reproducer *is* re-triggering its failure.
+pub fn replay(repro: &Repro) -> Result<ChaosReport, String> {
+    let (system, n, spec) = ChaosSpec::from_repro(repro)?;
+    Ok(match system {
+        System::P4ce => run_p4ce(&spec, n),
+        System::Mu => run_mu(&spec, n),
+    })
+}
+
+/// What [`shrink_spec`] converged on: the reduced spec and how many
+/// candidate runs it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrunkChaos {
+    /// The smallest spec that still fails.
+    pub spec: ChaosSpec,
+    /// Candidate runs spent shrinking.
+    pub runs: u32,
+}
+
+/// Greedily minimizes a failing [`ChaosSpec`] against an arbitrary
+/// failure predicate: each pass tries to zero one fault dimension, drop
+/// the partition, or halve the storm/drain windows, keeping a change
+/// only if the failure persists, until a fixpoint. The predicate
+/// abstraction exists so tests can shrink against a synthetic failure
+/// without paying for real cluster runs.
+pub fn shrink_spec(spec: &ChaosSpec, fails: &mut dyn FnMut(&ChaosSpec) -> bool) -> ShrunkChaos {
+    fn candidates(s: &ChaosSpec) -> Vec<ChaosSpec> {
+        let mut out = Vec::new();
+        let mut push = |edit: &dyn Fn(&mut ChaosSpec)| {
+            let mut c = *s;
+            edit(&mut c);
+            if c != *s {
+                out.push(c);
+            }
+        };
+        push(&|c| c.duplicate = 0.0);
+        push(&|c| {
+            c.reorder = 0.0;
+            c.reorder_window = SimDuration::ZERO;
+        });
+        push(&|c| c.corrupt = 0.0);
+        push(&|c| c.jitter = SimDuration::ZERO);
+        push(&|c| c.loss = 0.0);
+        push(&|c| c.partition_from = c.partition_until); // empty window
+        push(&|c| {
+            c.storm = SimDuration::from_nanos(c.storm.as_nanos() / 2);
+            c.partition_until = c.partition_until.min(c.storm);
+            c.partition_from = c.partition_from.min(c.partition_until);
+        });
+        push(&|c| c.drain = SimDuration::from_nanos(c.drain.as_nanos() / 2));
+        out
+    }
+
+    let mut best = *spec;
+    let mut runs = 0u32;
+    loop {
+        let mut improved = false;
+        for c in candidates(&best) {
+            runs += 1;
+            if fails(&c) {
+                best = c;
+                improved = true;
+                break; // restart candidate generation from the new best
+            }
+        }
+        if !improved {
+            return ShrunkChaos { spec: best, runs };
+        }
+    }
+}
+
+/// Runs `spec` on `system`; if the run's internal safety assertions
+/// fail, shrinks the spec to a minimal still-failing schedule, prints
+/// the `kind=chaos` reproducer, and re-raises the original panic so the
+/// test still fails. The integration tests in `tests/chaos.rs` route
+/// through this, so every red chaos run comes with a replayable seed
+/// file in its output.
+pub fn run_checked(spec: &ChaosSpec, n_members: usize, system: System) -> ChaosReport {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    let run = |s: &ChaosSpec| match system {
+        System::P4ce => run_p4ce(s, n_members),
+        System::Mu => run_mu(s, n_members),
+    };
+    match catch_unwind(AssertUnwindSafe(|| run(spec))) {
+        Ok(report) => report,
+        Err(payload) => {
+            // Candidate runs re-panic by design; silence the hook so
+            // the output shows one failure and one reproducer, not
+            // dozens of backtraces.
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let shrunk = shrink_spec(spec, &mut |s| {
+                catch_unwind(AssertUnwindSafe(|| run(s))).is_err()
+            });
+            std::panic::set_hook(hook);
+            eprintln!(
+                "chaos run failed; minimal reproducer (after {} shrink runs):",
+                shrunk.runs
+            );
+            eprint!("{}", shrunk.spec.to_repro(system, n_members).encode());
+            resume_unwind(payload)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +629,46 @@ mod tests {
         let a = ChaosSpec::seeded(1, 5);
         let b = ChaosSpec::seeded(2, 5);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn chaos_spec_round_trips_through_repro() {
+        let spec = ChaosSpec::seeded(0xC4A0_5001, 3);
+        let text = spec.to_repro(System::P4ce, 3).encode();
+        let (system, n, back) =
+            ChaosSpec::from_repro(&Repro::decode(&text).expect("decode")).expect("from_repro");
+        assert_eq!(system, System::P4ce);
+        assert_eq!(n, 3);
+        assert_eq!(back, spec);
+        assert!(
+            ChaosSpec::from_repro(&Repro::new("explore")).is_err(),
+            "wrong kind must be rejected"
+        );
+    }
+
+    #[test]
+    fn shrinking_keeps_only_the_dimension_that_matters() {
+        // Synthetic failure: the bug needs ≥1% loss, nothing else.
+        let spec = ChaosSpec::seeded(0xBAD_CA5E, 3);
+        let shrunk = shrink_spec(&spec, &mut |s| s.loss >= 0.01);
+        assert!(shrunk.spec.loss >= 0.01, "the culprit survives");
+        assert_eq!(shrunk.spec.duplicate, 0.0);
+        assert_eq!(shrunk.spec.reorder, 0.0);
+        assert_eq!(shrunk.spec.corrupt, 0.0);
+        assert_eq!(shrunk.spec.jitter, SimDuration::ZERO);
+        assert_eq!(
+            shrunk.spec.partition_from, shrunk.spec.partition_until,
+            "the partition window collapses"
+        );
+        assert!(shrunk.spec.storm < spec.storm, "the storm shortens");
+        assert!(shrunk.runs > 0);
+    }
+
+    #[test]
+    fn shrinking_a_passing_predicate_changes_nothing() {
+        let spec = ChaosSpec::seeded(1, 3);
+        let shrunk = shrink_spec(&spec, &mut |_| false);
+        assert_eq!(shrunk.spec, spec);
     }
 
     #[test]

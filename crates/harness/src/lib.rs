@@ -21,9 +21,13 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod explore;
 pub mod report;
+pub mod repro;
 pub mod runner;
 
 pub use chaos::{ChaosRecorder, ChaosReport, ChaosSpec};
+pub use explore::{Budget, ExploreReport, ExploreSpec, ExploreStatus};
 pub use report::{print_markdown, to_csv, to_markdown, write_csv, TableRow};
+pub use repro::Repro;
 pub use runner::{run_point, run_points, run_points_parallel, PointConfig, PointOutcome, System};

@@ -32,6 +32,7 @@ pub struct ClusterBuilder {
     verb_cost: Option<SimDuration>,
     tweak_rx_capacity: Vec<(usize, usize)>,
     timing: Option<ProtocolTiming>,
+    log_size: Option<usize>,
 }
 
 impl ClusterBuilder {
@@ -51,6 +52,7 @@ impl ClusterBuilder {
             verb_cost: None,
             tweak_rx_capacity: Vec::new(),
             timing: None,
+            log_size: None,
         }
     }
 
@@ -85,6 +87,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Overrides each member's replicated-log size (default 16 MiB).
+    /// Model-checking runs shrink it so thousands of re-executions stay
+    /// cheap.
+    pub fn log_size(mut self, bytes: usize) -> Self {
+        self.log_size = Some(bytes);
+        self
+    }
+
     /// Shrinks member `i`'s NIC receive capacity.
     pub fn member_rx_capacity(mut self, member: usize, capacity: usize) -> Self {
         self.tweak_rx_capacity.push((member, capacity));
@@ -105,6 +115,9 @@ impl ClusterBuilder {
         let mut cluster = ClusterConfig::new(&ips);
         if let Some(timing) = self.timing {
             cluster.timing = timing;
+        }
+        if let Some(bytes) = self.log_size {
+            cluster.log_size = bytes;
         }
         let mut sim = Simulation::new(self.seed);
 

@@ -271,6 +271,25 @@ impl MuMember {
         self.views.leader()
     }
 
+    /// Handle of this member's replicated-log region, once registered.
+    /// Invariant oracles pair it with [`rdma::Host::memory`] to audit who
+    /// holds write permission on the log.
+    pub fn log_region(&self) -> Option<RegionHandle> {
+        self.log_region
+    }
+
+    /// The leader currently holding this member's log-write grant
+    /// (`None` before the first grant).
+    pub fn epoch_leader(&self) -> Option<Ipv4Addr> {
+        self.granted_leader
+    }
+
+    /// Sequence number the next applied entry must carry — applied
+    /// entries are exactly `0..next_apply_seq`, in order.
+    pub fn next_apply_seq(&self) -> u64 {
+        self.next_apply_seq
+    }
+
     /// Clears the measurement window (latency samples and throughput),
     /// restarting it at `now`. Experiment harnesses call this after
     /// warm-up.

@@ -50,6 +50,7 @@ mod cpu;
 mod fault;
 mod link;
 mod node;
+mod sched;
 mod sim;
 mod stats;
 mod time;
@@ -58,6 +59,7 @@ pub use cpu::Cpu;
 pub use fault::{FaultPlan, FaultStats, Partition};
 pub use link::{Bandwidth, LinkSpec, LinkStats, WIRE_OVERHEAD_BYTES};
 pub use node::{Context, Frame, Node, NodeId, PortId, TimerToken};
+pub use sched::{EventClass, EventInfo, FifoScheduler, ReplayScheduler, Scheduler};
 pub use sim::{Simulation, TapId};
 pub use stats::{LatencyStats, Throughput};
 pub use time::{SimDuration, SimTime};

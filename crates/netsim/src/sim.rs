@@ -8,6 +8,7 @@ use std::collections::BinaryHeap;
 use crate::fault::{FaultPlan, FaultStats};
 use crate::link::{DirLink, LinkSpec, LinkStats};
 use crate::node::{Action, Context, Frame, Node, NodeId, PortId, TimerToken};
+use crate::sched::{EventClass, EventInfo, Scheduler};
 use crate::time::{SimDuration, SimTime};
 
 /// One scheduled occurrence.
@@ -29,6 +30,28 @@ struct Event {
     at: SimTime,
     seq: u64,
     kind: EventKind,
+}
+
+impl Event {
+    /// The scheduler-visible descriptor of this event.
+    fn info(&self) -> EventInfo {
+        let class = match &self.kind {
+            EventKind::FrameArrival { node, port, frame } => EventClass::Frame {
+                node: *node,
+                port: *port,
+                len: frame.len(),
+            },
+            EventKind::Timer { node, token } => EventClass::Timer {
+                node: *node,
+                token: *token,
+            },
+        };
+        EventInfo {
+            at: self.at,
+            seq: self.seq,
+            class,
+        }
+    }
 }
 
 impl PartialEq for Event {
@@ -108,6 +131,7 @@ pub struct Simulation {
     scratch: Vec<Action>,
     events_processed: u64,
     taps: Vec<Tap>,
+    scheduler: Option<Box<dyn Scheduler>>,
 }
 
 /// A wire tap capturing frames transmitted from one node's port.
@@ -145,6 +169,7 @@ impl Simulation {
             scratch: Vec::new(),
             events_processed: 0,
             taps: Vec::new(),
+            scheduler: None,
         }
     }
 
@@ -334,6 +359,71 @@ impl Simulation {
         self.ports[node.index()].len()
     }
 
+    /// Installs a [`Scheduler`] that chooses among co-enabled events
+    /// (those sharing the earliest pending timestamp). Replaces any
+    /// previous scheduler. Without one, equal-time events fire in
+    /// insertion order — identical to [`crate::FifoScheduler`].
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
+        self.scheduler = Some(scheduler);
+    }
+
+    /// Removes the installed scheduler, reverting to FIFO order.
+    pub fn clear_scheduler(&mut self) {
+        self.scheduler = None;
+    }
+
+    /// The currently co-enabled events: every pending event due at the
+    /// earliest queued instant, sorted by insertion order. Empty when the
+    /// queue is drained. O(queue) — intended for model checkers, not hot
+    /// paths.
+    pub fn co_enabled(&self) -> Vec<EventInfo> {
+        let Some(Reverse(head)) = self.queue.peek() else {
+            return Vec::new();
+        };
+        let head_at = head.at;
+        let mut out: Vec<EventInfo> = self
+            .queue
+            .iter()
+            .filter(|Reverse(e)| e.at == head_at)
+            .map(|Reverse(e)| e.info())
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Pops the event to fire next, honouring the installed scheduler.
+    fn pop_next(&mut self) -> Option<Event> {
+        if self.scheduler.is_none() {
+            return self.queue.pop().map(|Reverse(e)| e);
+        }
+        let Reverse(first) = self.queue.pop()?;
+        let head_at = first.at;
+        // Gather every co-enabled event (the heap yields them in
+        // ascending seq order for equal `at`).
+        let mut batch = vec![first];
+        while let Some(Reverse(e)) = self.queue.peek() {
+            if e.at != head_at {
+                break;
+            }
+            let Some(Reverse(e)) = self.queue.pop() else {
+                break;
+            };
+            batch.push(e);
+        }
+        let chosen = if batch.len() == 1 {
+            0
+        } else {
+            let infos: Vec<EventInfo> = batch.iter().map(Event::info).collect();
+            let sched = self.scheduler.as_mut().expect("checked above");
+            sched.choose(&infos).min(batch.len() - 1)
+        };
+        let event = batch.swap_remove(chosen);
+        for e in batch {
+            self.queue.push(Reverse(e));
+        }
+        Some(event)
+    }
+
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -455,7 +545,7 @@ impl Simulation {
     /// empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(ev) = self.pop_next() else {
             return false;
         };
         debug_assert!(ev.at >= self.now, "time went backwards");
@@ -474,7 +564,7 @@ impl Simulation {
             if head.at > deadline {
                 break;
             }
-            let Some(Reverse(ev)) = self.queue.pop() else {
+            let Some(ev) = self.pop_next() else {
                 break;
             };
             self.now = ev.at;
@@ -670,6 +760,77 @@ mod tests {
         // All three were transmitted at t=0 (queueing happens on the link).
         assert!(captured.iter().all(|(t, _)| *t == SimTime::ZERO));
         assert!(sim.tap_frames(silent).is_empty());
+    }
+
+    /// A node that arms several same-instant timers at start and records
+    /// the order they fire in — the canonical co-enabled workload.
+    struct TiedTimers {
+        fired: Vec<u64>,
+    }
+    impl Node for TiedTimers {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for t in 0..4u64 {
+                ctx.schedule(SimDuration::from_nanos(10), TimerToken(t));
+            }
+        }
+        fn on_frame(&mut self, _p: PortId, _f: Frame, _c: &mut Context<'_>) {}
+        fn on_timer(&mut self, token: TimerToken, _ctx: &mut Context<'_>) {
+            self.fired.push(token.0);
+        }
+    }
+
+    fn tied_run(scheduler: Option<Box<dyn crate::Scheduler>>) -> Vec<u64> {
+        let mut sim = Simulation::new(1);
+        let n = sim.add_node(Box::new(TiedTimers { fired: vec![] }));
+        if let Some(s) = scheduler {
+            sim.set_scheduler(s);
+        }
+        sim.run_to_completion();
+        sim.node_ref::<TiedTimers>(n).fired.clone()
+    }
+
+    #[test]
+    fn fifo_scheduler_matches_default_order() {
+        let default = tied_run(None);
+        let fifo = tied_run(Some(Box::new(crate::FifoScheduler)));
+        assert_eq!(default, vec![0, 1, 2, 3]);
+        assert_eq!(default, fifo);
+    }
+
+    #[test]
+    fn scheduler_permutes_co_enabled_events() {
+        /// Always picks the *last* candidate — reverses FIFO among ties.
+        struct Lifo;
+        impl crate::Scheduler for Lifo {
+            fn choose(&mut self, candidates: &[crate::EventInfo]) -> usize {
+                candidates.len() - 1
+            }
+        }
+        assert_eq!(tied_run(Some(Box::new(Lifo))), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn replay_scheduler_reproduces_recorded_choices() {
+        // Choices recorded at successive branching points: 4 candidates →
+        // pick 2; then {0,1,3} → pick 1 (token 1); then {0,3} → pick 1
+        // (token 3); last one forced.
+        let replay = crate::ReplayScheduler::new(vec![2, 1, 1]);
+        assert_eq!(tied_run(Some(Box::new(replay))), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn co_enabled_lists_head_time_events() {
+        let mut sim = Simulation::new(1);
+        let n = sim.add_node(Box::new(TiedTimers { fired: vec![] }));
+        // Start the nodes so the timers are queued, without processing any.
+        sim.run_until(SimTime::ZERO);
+        let co = sim.co_enabled();
+        assert_eq!(co.len(), 4);
+        assert!(co.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(co.iter().all(|e| e.at == SimTime::from_nanos(10)));
+        assert!(co.iter().all(|e| e.class.node() == n));
+        sim.run_to_completion();
+        assert!(sim.co_enabled().is_empty());
     }
 
     #[test]

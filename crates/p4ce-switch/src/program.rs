@@ -76,6 +76,10 @@ pub struct P4ceSwitchConfig {
     /// stalls the leader forever; a silent replica cannot contribute ACKs
     /// anyway, so ignoring its credits never weakens the quorum.
     pub credit_stale_scatters: u32,
+    /// `false` models a plain (non-programmable) fabric: group requests
+    /// are silently ignored, so leaders fall back to direct replication
+    /// (§III-A). Ordinary L3 forwarding is unaffected.
+    pub p4ce_enabled: bool,
 }
 
 impl Default for P4ceSwitchConfig {
@@ -86,6 +90,7 @@ impl Default for P4ceSwitchConfig {
             ack_drop: AckDropStage::Ingress,
             credit_mode: CreditMode::Minimum,
             credit_stale_scatters: 1024,
+            p4ce_enabled: true,
         }
     }
 }
@@ -248,6 +253,11 @@ impl P4ceProgram {
         private_data: &[u8],
         ops: &mut dyn ControlOps,
     ) {
+        if !self.cfg.p4ce_enabled {
+            // A plain fabric is not listening on the group endpoint: the
+            // request vanishes and the leader times out into fallback.
+            return;
+        }
         let Ok(spec) = GroupSpec::decode(private_data) else {
             Self::send_cm(
                 ops,

@@ -1200,6 +1200,13 @@ impl<A: RdmaApp> Host<A> {
         self.core.stats
     }
 
+    /// Read-only view of the host's registered memory — invariant
+    /// checkers audit region permissions through this without involving
+    /// the (simulated) host CPU.
+    pub fn memory(&self) -> &HostMemory {
+        &self.core.mem
+    }
+
     /// This host's IP.
     pub fn ip(&self) -> Ipv4Addr {
         self.core.cfg.ip

@@ -365,6 +365,53 @@ fn unacked_write_flushes_with_timeout_error() {
     assert_eq!(app.inner.completions[0].status, CompletionStatus::TimedOut);
 }
 
+/// The fence a replica applies to a deposed leader: the write is posted
+/// under a valid grant, but the grant is revoked while the packet is on
+/// the wire. The revoke must win — NAK, no bytes landed.
+#[test]
+fn revoke_during_in_flight_write_naks_and_leaves_memory_clean() {
+    let server = Server::new(4096, Permissions::NONE);
+    let client = Client::writes(SERVER_IP, vec![Bytes::from(vec![0xAB; 64])]);
+    let (mut sim, c, s) = two_host_sim(server, client);
+
+    // Let the server register its region, then grant the client an
+    // explicit write permission (the leader-adoption grant).
+    while sim.node_ref::<Host<Server>>(s).app().region.is_none() {
+        assert!(sim.step(), "server never registered its region");
+    }
+    sim.with_node::<Host<Server>, _>(s, |host, ctx| {
+        host.with_ops(ctx, |app, ops| {
+            ops.grant(
+                app.region.expect("registered"),
+                CLIENT_IP,
+                Permissions::WRITE,
+            );
+        })
+    });
+
+    // Step until the client has connected and posted its write — the
+    // packet is now in flight towards the server...
+    while sim.node_ref::<Host<Client>>(c).app().connected_at.is_none() {
+        assert!(sim.step(), "handshake never completed");
+    }
+    // ...and revoke the grant before it can land.
+    sim.with_node::<Host<Server>, _>(s, |host, ctx| {
+        host.with_ops(ctx, |app, ops| {
+            ops.revoke(app.region.expect("registered"), CLIENT_IP);
+        })
+    });
+    sim.run_until(SimTime::from_millis(1));
+
+    let client_app = sim.node_ref::<Host<Client>>(c).app();
+    assert_eq!(client_app.completions.len(), 1);
+    assert_eq!(
+        client_app.completions[0].status,
+        CompletionStatus::RemoteError(NakCode::RemoteAccessError)
+    );
+    let server_app = sim.node_ref::<Host<Server>>(s).app();
+    assert!(server_app.writes_seen.is_empty(), "no bytes may land");
+}
+
 #[test]
 fn pipelined_writes_complete_in_order() {
     let payloads: Vec<Bytes> = (0..32).map(|i| Bytes::from(vec![i as u8; 64])).collect();

@@ -104,4 +104,51 @@ mod tests {
         let c = vt.update(&set(&[])).expect("all dead");
         assert_eq!(c.new, None);
     }
+
+    #[test]
+    fn simultaneous_candidates_converge_on_one_leader() {
+        // Two members observe the leader's death with *different*
+        // partial alive sets — the moment both could consider
+        // themselves candidates. Deterministic lowest-id election must
+        // hand both the same answer once their views of the world meet.
+        let mut m1 = ViewTracker::new();
+        let mut m2 = ViewTracker::new();
+        m1.update(&set(&[0, 1, 2]));
+        m2.update(&set(&[0, 1, 2]));
+
+        // m1 notices member 0 died first and elects itself...
+        let c1 = m1.update(&set(&[1, 2])).expect("m1 sees death");
+        assert_eq!(c1.new, Some(MemberId(1)));
+        // ...while m2 briefly believes only itself alive and elects
+        // itself too: two simultaneous candidates.
+        let c2 = m2.update(&set(&[2])).expect("m2 sees deaths");
+        assert_eq!(c2.new, Some(MemberId(2)));
+
+        // Detectors converge on the true alive set {1, 2}: m2 must
+        // yield to the lower candidate, m1 must not budge.
+        assert!(m1.update(&set(&[1, 2])).is_none(), "m1 keeps its claim");
+        let yielded = m2.update(&set(&[1, 2])).expect("m2 yields");
+        assert_eq!(yielded.new, Some(MemberId(1)));
+        assert_eq!(m1.leader(), m2.leader());
+    }
+
+    #[test]
+    fn views_are_strictly_monotonic_across_flapping() {
+        let mut vt = ViewTracker::new();
+        let mut last = 0;
+        for alive in [
+            set(&[0, 1, 2]),
+            set(&[1, 2]),
+            set(&[0, 1, 2]),
+            set(&[2]),
+            set(&[0, 2]),
+        ] {
+            if let Some(c) = vt.update(&alive) {
+                assert!(c.view > last, "view went backwards: {} -> {}", last, c.view);
+                assert_eq!(c.view, vt.view());
+                last = c.view;
+            }
+        }
+        assert_eq!(last, 5, "every flap above moves leadership");
+    }
 }

@@ -190,4 +190,50 @@ mod tests {
     fn zero_threshold_rejected() {
         let _ = FailureDetector::new(0, ids(1));
     }
+
+    #[test]
+    fn stale_epoch_heartbeat_does_not_revive() {
+        // A peer reboots: its counter restarts below the value we last
+        // saw. Those stale heartbeats must read as "no progress", not
+        // as life — otherwise a wrapped/reset counter keeps a dead
+        // member's view slots occupied forever.
+        let mut fd = FailureDetector::new(2, ids(1));
+        fd.observe(MemberId(0), 100);
+        assert!(fd.is_alive(MemberId(0)));
+        fd.observe(MemberId(0), 3);
+        fd.observe(MemberId(0), 4); // still below 100: stale epoch
+        assert!(
+            !fd.is_alive(MemberId(0)),
+            "backwards counters are stalls, not progress"
+        );
+        // Only genuinely fresh progress (past the high-water mark)
+        // revives the peer.
+        fd.observe(MemberId(0), 101);
+        assert!(fd.is_alive(MemberId(0)));
+    }
+
+    #[test]
+    fn intermittent_progress_below_threshold_stays_alive() {
+        // One stalled read between advances must never accumulate into
+        // a death sentence: progress resets the stall counter.
+        let mut fd = FailureDetector::new(2, ids(1));
+        for v in 1..=10 {
+            fd.observe(MemberId(0), v);
+            fd.observe(MemberId(0), v); // exactly one stall each round
+        }
+        assert!(fd.is_alive(MemberId(0)));
+    }
+
+    #[test]
+    fn mixed_failures_and_stalls_accumulate() {
+        // A failed read and a stale read are the same evidence; the
+        // threshold counts them together.
+        let mut fd = FailureDetector::new(3, ids(1));
+        fd.observe(MemberId(0), 5);
+        fd.observe_failure(MemberId(0));
+        fd.observe(MemberId(0), 5);
+        assert!(fd.is_alive(MemberId(0)), "two strikes < 3");
+        fd.observe_failure(MemberId(0));
+        assert!(!fd.is_alive(MemberId(0)), "third strike");
+    }
 }

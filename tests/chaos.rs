@@ -6,8 +6,19 @@
 //! the same schedule replays bit-for-bit.
 
 use netsim::SimDuration;
-use p4ce_harness::chaos::{run_mu, run_p4ce};
-use p4ce_harness::ChaosSpec;
+use p4ce_harness::chaos::run_checked;
+use p4ce_harness::{ChaosSpec, System};
+
+/// All chaos runs route through [`run_checked`]: a failing run shrinks
+/// its schedule and prints a replayable `kind=chaos` reproducer before
+/// re-raising the panic.
+fn run_p4ce(spec: &ChaosSpec, n: usize) -> p4ce_harness::ChaosReport {
+    run_checked(spec, n, System::P4ce)
+}
+
+fn run_mu(spec: &ChaosSpec, n: usize) -> p4ce_harness::ChaosReport {
+    run_checked(spec, n, System::Mu)
+}
 
 #[test]
 fn p4ce_cluster_survives_seeded_chaos() {
@@ -61,6 +72,16 @@ fn same_seed_and_schedule_replays_identically() {
         first, second,
         "a chaos run must be a pure function of its spec"
     );
+}
+
+#[test]
+fn chaos_reproducer_replays_the_same_run() {
+    let spec = ChaosSpec::seeded(0xDE7E_0001, 3);
+    let direct = run_p4ce(&spec, 3);
+    let text = spec.to_repro(System::P4ce, 3).encode();
+    let repro = p4ce_harness::Repro::decode(&text).expect("well-formed reproducer");
+    let replayed = p4ce_harness::chaos::replay(&repro).expect("replayable");
+    assert_eq!(direct, replayed, "a reproducer must replay bit-for-bit");
 }
 
 #[test]

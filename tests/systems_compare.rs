@@ -1,8 +1,11 @@
 //! Cross-system integration tests: Mu and P4CE side by side, the paper's
-//! headline claims as assertions.
+//! headline claims as assertions — plus a differential test pinning both
+//! systems to the *same* decided value sequence under the same seeded
+//! workload and fault plan.
 
-use netsim::SimDuration;
-use p4ce_harness::{run_point, PointConfig, System};
+use bytes::Bytes;
+use netsim::{FaultPlan, PortId, SimDuration};
+use p4ce_harness::{run_point, ChaosRecorder, PointConfig, System};
 use replication::WorkloadSpec;
 
 fn rate_of(system: System, replicas: usize) -> f64 {
@@ -87,6 +90,148 @@ fn goodput_ratio_matches_replica_count_at_large_values() {
     assert!((3.6..=4.4).contains(&r4), "4-replica goodput ratio {r4:.2}");
     // P4CE saturates the 100 Gbit/s link (≈11 GB/s goodput).
     assert!(p4ce2 > 10.5e9, "P4CE goodput {p4ce2:.2e} below line rate");
+}
+
+/// Drives one deployment with an externally injected, fully
+/// deterministic proposal stream (payload = proposal counter), under an
+/// optional seeded fault storm, and returns each member's applied
+/// `(seq, payload)` log. Shared between the Mu and P4CE variants so the
+/// workloads really are identical.
+macro_rules! decided_log {
+    ($d:ident, $n:expr, $faults:expr) => {{
+        for i in 0..$n {
+            $d.member_mut(i)
+                .set_state_machine(Box::new(ChaosRecorder::default()));
+        }
+        let setup_deadline = $d.sim.now() + SimDuration::from_millis(300);
+        while $d.sim.now() < setup_deadline && !$d.member(0).is_operational_leader() {
+            $d.sim.run_for(SimDuration::from_millis(1));
+        }
+        assert!($d.member(0).is_operational_leader(), "no steady state");
+
+        if $faults {
+            // A mild, seeded storm on replica links: loss and jitter on
+            // member 1, a partition window for member 2. The leader
+            // stays up, so both systems must still decide the same
+            // sequence — faults may only slow them down.
+            let now = $d.sim.now();
+            let port = PortId::from_index(0);
+            let lossy = || {
+                FaultPlan::new()
+                    .loss(0.02)
+                    .jitter(SimDuration::from_nanos(200))
+            };
+            $d.sim.set_fault_plan($d.members[1], port, lossy());
+            let (sw, swp) = $d.sim.peer_of($d.members[1], port);
+            $d.sim.set_fault_plan(sw, swp, lossy());
+            let window = |p: FaultPlan| {
+                p.partition(
+                    now + SimDuration::from_micros(500),
+                    now + SimDuration::from_micros(900),
+                )
+            };
+            $d.sim
+                .set_fault_plan($d.members[2], port, window(FaultPlan::new()));
+            let (sw2, swp2) = $d.sim.peer_of($d.members[2], port);
+            $d.sim.set_fault_plan(sw2, swp2, window(FaultPlan::new()));
+        }
+
+        let mut next_value = 0u64;
+        let run_until = $d.sim.now() + SimDuration::from_millis(2);
+        while $d.sim.now() < run_until {
+            $d.sim.run_for(SimDuration::from_micros(20));
+            if let Some(l) = (0..$n).find(|&i| $d.member(i).is_operational_leader()) {
+                let payload = Bytes::from(next_value.to_be_bytes().to_vec());
+                if $d.with_member(l, move |m, ops| m.propose_value(payload, ops)) {
+                    next_value += 1;
+                }
+            }
+        }
+        // Drain: let retransmissions finish and replicas apply the tail.
+        $d.sim.run_for(SimDuration::from_millis(3));
+
+        (0..$n)
+            .map(|i| {
+                let rec = $d
+                    .member(i)
+                    .state_machine()
+                    .and_then(|sm| (sm as &dyn std::any::Any).downcast_ref::<ChaosRecorder>())
+                    .expect("recorder installed");
+                (rec.seqs.clone(), rec.payloads.clone())
+            })
+            .collect::<Vec<(Vec<u64>, Vec<Vec<u8>>)>>()
+    }};
+}
+
+fn p4ce_decided_log(seed: u64, faults: bool) -> Vec<(Vec<u64>, Vec<Vec<u8>>)> {
+    let mut d = p4ce::ClusterBuilder::new(3).seed(seed).build();
+    decided_log!(d, 3, faults)
+}
+
+fn mu_decided_log(seed: u64, faults: bool) -> Vec<(Vec<u64>, Vec<Vec<u8>>)> {
+    let mut d = mu::ClusterBuilder::new(3).seed(seed).build();
+    decided_log!(d, 3, faults)
+}
+
+/// The differential assertion: every member of both systems applied the
+/// same `(seq, payload)` sequence, up to run-end truncation, and the
+/// runs were non-trivial.
+fn assert_identical_decisions(
+    mu_logs: &[(Vec<u64>, Vec<Vec<u8>>)],
+    p4ce_logs: &[(Vec<u64>, Vec<Vec<u8>>)],
+    min_decided: usize,
+) {
+    let longest = |logs: &[(Vec<u64>, Vec<Vec<u8>>)]| {
+        logs.iter()
+            .max_by_key(|(s, _)| s.len())
+            .expect("members")
+            .clone()
+    };
+    let (mu_seqs, mu_payloads) = longest(mu_logs);
+    let (p4_seqs, p4_payloads) = longest(p4ce_logs);
+    assert!(
+        mu_seqs.len() >= min_decided && p4_seqs.len() >= min_decided,
+        "runs too short to be meaningful: Mu {} / P4CE {}",
+        mu_seqs.len(),
+        p4_seqs.len()
+    );
+    let n = mu_seqs.len().min(p4_seqs.len());
+    assert_eq!(
+        &mu_seqs[..n],
+        &p4_seqs[..n],
+        "Mu and P4CE diverge on decided sequence numbers"
+    );
+    assert_eq!(
+        &mu_payloads[..n],
+        &p4_payloads[..n],
+        "Mu and P4CE diverge on decided values"
+    );
+    // And within each system, every member saw the same sequence.
+    for logs in [mu_logs, p4ce_logs] {
+        for (seqs, payloads) in logs {
+            let k = seqs.len();
+            assert_eq!(&seqs[..], &longest(logs).0[..k], "member prefix mismatch");
+            assert_eq!(
+                &payloads[..],
+                &longest(logs).1[..k],
+                "member payload prefix mismatch"
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_workload_decides_identically_across_systems() {
+    let mu_logs = mu_decided_log(7, false);
+    let p4ce_logs = p4ce_decided_log(7, false);
+    assert_identical_decisions(&mu_logs, &p4ce_logs, 50);
+}
+
+#[test]
+fn identical_workload_decides_identically_under_faults() {
+    let mu_logs = mu_decided_log(7, true);
+    let p4ce_logs = p4ce_decided_log(7, true);
+    assert_identical_decisions(&mu_logs, &p4ce_logs, 50);
 }
 
 #[test]
