@@ -4,6 +4,11 @@
 //! (asserting their outputs are identical), and whole-simulation rates
 //! (events/sec, ns per decided consensus operation).
 //!
+//! Also emits BENCH_5.json: the tracing-overhead comparison — the same
+//! saturated point run with the trace sink disabled and enabled, with
+//! the two outcomes asserted bit-identical (tracing observes virtual
+//! time, so only the host wall clock may differ).
+//!
 //! Run with `cargo run --release -p p4ce-bench --bin bench_trajectory`
 //! (scripts/bench.sh does, and moves the output to the repo root).
 
@@ -158,6 +163,57 @@ fn consensus_rates() -> ConsensusRates {
     }
 }
 
+struct TraceOverhead {
+    disabled_ms: f64,
+    enabled_ms: f64,
+    decided: u64,
+    events: u64,
+    records: u64,
+    complete_spans: u64,
+}
+
+/// The same saturated P4CE point, traced off vs. on. Virtual-time
+/// outcomes must be identical; the wall-clock delta is the price of the
+/// enabled sink (the disabled sink costs one branch per site and is
+/// covered by the criterion benches instead).
+fn trace_overhead() -> TraceOverhead {
+    let mut cfg = PointConfig::new(System::P4ce, 2, WorkloadSpec::closed(16, 64, 0));
+    cfg.window = SimDuration::from_millis(10);
+
+    // Median-of-3 for each mode; one warm-up run first.
+    let _ = p4ce_harness::run_point(&cfg);
+    let mut disabled = Vec::new();
+    let mut plain = None;
+    for _ in 0..3 {
+        let t = Instant::now();
+        plain = Some(p4ce_harness::run_point(&cfg));
+        disabled.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut enabled = Vec::new();
+    let mut traced = None;
+    for _ in 0..3 {
+        let t = Instant::now();
+        traced = Some(p4ce_harness::run_point_traced(&cfg));
+        enabled.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    disabled.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    enabled.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let plain = plain.expect("ran");
+    let traced = traced.expect("ran");
+    assert_eq!(
+        plain, traced.outcome,
+        "tracing must not perturb the measured outcome"
+    );
+    TraceOverhead {
+        disabled_ms: disabled[1],
+        enabled_ms: enabled[1],
+        decided: plain.decided,
+        events: plain.events_processed,
+        records: traced.records.len() as u64,
+        complete_spans: traced.breakdown.complete as u64,
+    }
+}
+
 fn main() {
     let threads = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
 
@@ -248,4 +304,28 @@ fn main() {
 
     std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
     println!("{json}");
+
+    eprintln!("trace overhead (sink disabled vs enabled)...");
+    let tr = trace_overhead();
+    let overhead_pct = 100.0 * (tr.enabled_ms - tr.disabled_ms) / tr.disabled_ms;
+    eprintln!(
+        "  disabled {:.1} ms, enabled {:.1} ms ({overhead_pct:+.1}%), {} records, {} complete spans",
+        tr.disabled_ms, tr.enabled_ms, tr.records, tr.complete_spans
+    );
+    let mut json5 = String::new();
+    json5.push_str("{\n  \"bench\": \"trace_overhead\",\n");
+    let _ = writeln!(
+        json5,
+        "  \"disabled\": {{\"wall_ms\": {:.1}, \"decided\": {}, \"events_processed\": {}}},",
+        tr.disabled_ms, tr.decided, tr.events
+    );
+    let _ = writeln!(
+        json5,
+        "  \"enabled\": {{\"wall_ms\": {:.1}, \"records\": {}, \"complete_spans\": {}}},",
+        tr.enabled_ms, tr.records, tr.complete_spans
+    );
+    let _ = writeln!(json5, "  \"overhead_pct\": {overhead_pct:.1},");
+    json5.push_str("  \"identical_outcomes\": true\n}\n");
+    std::fs::write("BENCH_5.json", &json5).expect("write BENCH_5.json");
+    println!("{json5}");
 }

@@ -1,12 +1,42 @@
 //! Regenerates Figure 6: latency vs. throughput under open-loop 64 B
 //! load, 2 and 4 replicas. See EXPERIMENTS.md §E3.
+//!
+//! With `--trace [FILE]`, additionally runs one traced low-load P4CE
+//! point, prints its per-stage latency breakdown (where the end-to-end
+//! microseconds of the figure actually go — see EXPERIMENTS.md §E3),
+//! and writes the Chrome/Perfetto `trace_events` JSON to FILE
+//! (default `fig6_trace.json`).
 
 use netsim::SimDuration;
 use p4ce_harness::experiments::fig6_latency;
-use p4ce_harness::print_markdown;
+use p4ce_harness::runner::{PointConfig, System};
+use p4ce_harness::{print_markdown, run_point_traced, write_chrome_trace};
+use replication::WorkloadSpec;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let rates = fig6_latency::default_rates();
     let rows = fig6_latency::run(&rates, &[2, 4], SimDuration::from_millis(10));
     print_markdown("Figure 6 — latency vs. throughput (64 B, open loop)", &rows);
+
+    if args.first().map(String::as_str) == Some("--trace") {
+        let path = args.get(1).map_or("fig6_trace.json", String::as_str);
+        let mut cfg = PointConfig::new(System::P4ce, 2, WorkloadSpec::closed(4, 64, 0));
+        cfg.window = SimDuration::from_millis(10);
+        let traced = run_point_traced(&cfg);
+        assert!(
+            traced.breakdown.reconciles(),
+            "stage means must sum to the end-to-end mean"
+        );
+        println!(
+            "{}",
+            traced
+                .stage_table("Figure 6 companion — P4CE stage breakdown (closed loop, 2 replicas)")
+        );
+        write_chrome_trace(path, &traced.records).expect("write trace JSON");
+        println!(
+            "trace: {} records written to {path} (load in chrome://tracing or ui.perfetto.dev)",
+            traced.records.len()
+        );
+    }
 }

@@ -2,7 +2,7 @@
 //! P4CE-programmed switch, links and routes — and optionally a backup
 //! plain-L3 fabric for switch-crash experiments.
 
-use netsim::{LinkSpec, NodeId, SimDuration, Simulation};
+use netsim::{LinkSpec, NodeId, SimDuration, Simulation, Tracer};
 use p4ce_switch::{AckDropStage, P4ceProgram, P4ceSwitchConfig};
 use rdma::{Host, HostConfig};
 use replication::{ClusterConfig, MemberId, ProtocolTiming, WorkloadSpec};
@@ -41,6 +41,7 @@ pub struct ClusterBuilder {
     log_size: Option<usize>,
     skip_epoch_revoke: bool,
     reaccel_period: Option<SimDuration>,
+    tracer: Tracer,
 }
 
 impl ClusterBuilder {
@@ -67,6 +68,7 @@ impl ClusterBuilder {
             log_size: None,
             skip_epoch_revoke: false,
             reaccel_period: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -161,6 +163,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches a trace sink. Member hosts emit records labelled `m0`,
+    /// `m1`, …; the P4CE switch emits as `switch`. Disabled by default —
+    /// the hot paths then pay a single branch per potential event.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Overrides the switch's per-parser packet cost (scaled-down parser
     /// budgets for the §IV-D ablation).
     pub fn parser_cost(mut self, cost: SimDuration) -> Self {
@@ -219,6 +229,7 @@ impl ClusterBuilder {
                 mcfg.path_failover_delay = SimDuration::from_millis(55);
             }
             let mut hcfg = HostConfig::new(member_ip(i));
+            hcfg.tracer = self.tracer.labeled(&format!("m{i}"));
             if let Some(cost) = self.verb_cost {
                 hcfg.post_cost = cost;
                 hcfg.reap_cost = cost;
@@ -234,6 +245,7 @@ impl ClusterBuilder {
 
         let program = P4ceProgram::new(self.switch_cfg);
         let mut hw = SwitchConfig::tofino1(switch_ip);
+        hw.tracer = self.tracer.labeled("switch");
         if let Some(cost) = self.parser_cost {
             hw.parser_cost = cost;
         }

@@ -18,7 +18,7 @@
 //!   [`P4ceMemberConfig::async_reconfig`].
 
 use bytes::Bytes;
-use netsim::{PortId, SimDuration, SimTime};
+use netsim::{PortId, SimDuration, SimTime, TraceEvent};
 use p4ce_switch::{GroupJoin, GroupSpec};
 use rdma::{
     CmEvent, Completion, CompletionStatus, HostOps, Permissions, Psn, Qpn, RdmaApp, RegionAdvert,
@@ -490,6 +490,10 @@ impl P4ceMember {
                 leader: change.new,
             },
         );
+        ops.tracer().emit(ops.now(), || TraceEvent::ViewChange {
+            view: change.view,
+            leader: change.new.map_or(u64::MAX, |m| u64::from(m.0)),
+        });
         let i_lead = change.new == Some(self.cfg.id);
         if i_lead && !self.i_am_leader {
             self.become_leader(change.view, ops);
@@ -641,6 +645,7 @@ impl P4ceMember {
         }
         self.comm = Comm::Fallback;
         self.stats.event(ops.now(), MemberEvent::FellBack);
+        ops.tracer().emit(ops.now(), || TraceEvent::FellBack);
         self.direct_links.clear();
         let peers: Vec<(MemberId, Ipv4Addr)> = self.cfg.cluster.peers_of(self.cfg.id);
         for (peer, ip) in peers {
@@ -697,6 +702,8 @@ impl P4ceMember {
         self.comm = Comm::Accelerated(qpn);
         self.switch_advert = Some(advert);
         self.stats.event(ops.now(), MemberEvent::GroupEstablished);
+        ops.tracer()
+            .emit(ops.now(), || TraceEvent::GroupEstablished);
         // Re-replicate anything that was decided-in-doubt or parked
         // during the outage.
         self.repost_pending_via_switch(ops);
@@ -892,6 +899,9 @@ impl P4ceMember {
         let region = self.log_region.expect("registered");
         ops.write_local(region, at, &bytes);
         self.stats.issued += 1;
+        let (view, seq) = (self.views.view(), entry.seq);
+        ops.tracer()
+            .emit(ops.now(), || TraceEvent::Propose { view, seq });
         let len = bytes.len();
         self.pending.insert(
             entry.seq,
@@ -910,13 +920,14 @@ impl P4ceMember {
                 // One write to the switch replaces n writes to replicas:
                 // the virtual VA is zero-based, so the log offset is the
                 // address (§IV-A).
-                ops.post_write(
-                    qpn,
-                    WrId(WR_SWITCH | entry.seq),
-                    at as u64,
-                    advert.rkey,
-                    bytes,
-                );
+                let wr_id = WrId(WR_SWITCH | entry.seq);
+                ops.tracer().emit(ops.now(), || TraceEvent::PostBound {
+                    view,
+                    seq,
+                    qpn: u64::from(qpn.masked()),
+                    wr_id: wr_id.0,
+                });
+                ops.post_write(qpn, wr_id, at as u64, advert.rkey, bytes);
             }
             Comm::Fallback => {
                 let links: Vec<(MemberId, Qpn, RegionAdvert)> = self
@@ -926,9 +937,16 @@ impl P4ceMember {
                     .map(|(&id, l)| (id, l.qpn.expect("ready"), l.advert.expect("ready")))
                     .collect();
                 for (peer, qpn, advert) in links {
+                    let wr_id = WrId(WR_DIRECT | (u64::from(peer.0) << 48) | entry.seq);
+                    ops.tracer().emit(ops.now(), || TraceEvent::PostBound {
+                        view,
+                        seq,
+                        qpn: u64::from(qpn.masked()),
+                        wr_id: wr_id.0,
+                    });
                     ops.post_write(
                         qpn,
-                        WrId(WR_DIRECT | (u64::from(peer.0) << 48) | entry.seq),
+                        wr_id,
                         advert.va + at as u64,
                         advert.rkey,
                         bytes.clone(),
@@ -1008,6 +1026,8 @@ impl P4ceMember {
         ops: &mut HostOps<'_, '_>,
     ) {
         self.stats.decided += 1;
+        let view = self.views.view();
+        ops.tracer().emit(now, || TraceEvent::Decide { view, seq });
         if self.first_decision_pending {
             self.first_decision_pending = false;
             self.stats.event(
@@ -1384,6 +1404,8 @@ impl RdmaApp for P4ceMember {
             }
             self.next_apply_seq = entry.seq + 1;
             self.stats.applied += 1;
+            let seq = entry.seq;
+            ops.tracer().emit(ops.now(), || TraceEvent::Apply { seq });
             if let Some(sm) = &mut self.state_machine {
                 sm.apply(entry);
             }

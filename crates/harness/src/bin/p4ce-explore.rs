@@ -5,7 +5,7 @@
 //! p4ce-explore exhaustive [spec flags] [--delay-bound D] [--seeds a,b,c]
 //! p4ce-explore random     [spec flags] [--schedules N]
 //! p4ce-explore mutation-check
-//! p4ce-explore replay <reproducer-file>
+//! p4ce-explore replay <reproducer-file> [--trace TRACE.json]
 //! ```
 //!
 //! Spec flags: `--system p4ce|mu`, `--members N`, `--seed S`,
@@ -20,6 +20,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use netsim::TraceHandle;
 use p4ce_harness::explore::{self, shrink, Budget, ExploreSpec};
 use p4ce_harness::repro::Repro;
 use p4ce_harness::runner::System;
@@ -51,7 +52,7 @@ impl Options {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: p4ce-explore <exhaustive|random|mutation-check|replay FILE> \
+        "usage: p4ce-explore <exhaustive|random|mutation-check|replay FILE [--trace TRACE.json]> \
          [--system p4ce|mu] [--members N] [--seed S] [--seeds a,b,c] \
          [--delay-bound D] [--horizon H] [--propose-every K] \
          [--plain-fabric] [--partition-at STEP] [--schedules N] \
@@ -228,7 +229,29 @@ fn run_mutation_check(o: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_replay(path: &str) -> ExitCode {
+/// Writes the collected records to `trace_out` as Perfetto JSON and
+/// prints the assembled stage-breakdown table. Runs after the replay
+/// whether it was clean or failing — visualizing the failing schedule
+/// is the point of `--trace`.
+fn export_trace(handle: &TraceHandle, trace_out: &str) {
+    let records = handle.records();
+    if let Err(e) = p4ce_harness::write_chrome_trace(trace_out, &records) {
+        eprintln!("warning: could not write {trace_out}: {e}");
+    } else {
+        println!(
+            "trace: {} records written to {trace_out} (Perfetto/chrome://tracing)",
+            records.len()
+        );
+    }
+    let spans = netsim::assemble_spans(&records);
+    print!(
+        "{}",
+        p4ce_harness::stage_table("replay stage breakdown", &netsim::breakdown(&spans))
+    );
+}
+
+fn run_replay(path: &str, trace_out: Option<&str>) -> ExitCode {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => return usage(&format!("cannot read {path}: {e}")),
@@ -237,9 +260,16 @@ fn run_replay(path: &str) -> ExitCode {
         Ok(r) => r,
         Err(e) => return usage(&format!("bad reproducer {path}: {e}")),
     };
+    let handle = TraceHandle::new();
+    let tracer = match trace_out {
+        Some(_) => handle.tracer("replay"),
+        None => netsim::Tracer::disabled(),
+    };
     if repro.kind == "chaos" {
-        let run = std::panic::catch_unwind(|| p4ce_harness::chaos::replay(&repro));
-        return match run {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            p4ce_harness::chaos::replay_traced(&repro, &tracer)
+        }));
+        let code = match run {
             Ok(Ok(report)) => {
                 println!(
                     "chaos replay clean: {} decided, {} frames dropped",
@@ -247,7 +277,7 @@ fn run_replay(path: &str) -> ExitCode {
                 );
                 ExitCode::SUCCESS
             }
-            Ok(Err(e)) => usage(&format!("cannot replay {path}: {e}")),
+            Ok(Err(e)) => return usage(&format!("cannot replay {path}: {e}")),
             Err(payload) => {
                 let msg = payload
                     .downcast_ref::<String>()
@@ -258,18 +288,28 @@ fn run_replay(path: &str) -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+        if let Some(out) = trace_out {
+            export_trace(&handle, out);
+        }
+        return code;
     }
-    match explore::replay(&repro) {
-        Ok(outcome) => match outcome.violation {
-            Some(v) => {
-                println!("replayed {} steps: {v}", outcome.steps);
-                ExitCode::FAILURE
+    match explore::replay_traced(&repro, &tracer) {
+        Ok(outcome) => {
+            let code = match outcome.violation {
+                Some(v) => {
+                    println!("replayed {} steps: {v}", outcome.steps);
+                    ExitCode::FAILURE
+                }
+                None => {
+                    println!("replayed {} steps: no violation", outcome.steps);
+                    ExitCode::SUCCESS
+                }
+            };
+            if let Some(out) = trace_out {
+                export_trace(&handle, out);
             }
-            None => {
-                println!("replayed {} steps: no violation", outcome.steps);
-                ExitCode::SUCCESS
-            }
-        },
+            code
+        }
         Err(e) => usage(&format!("cannot replay {path}: {e}")),
     }
 }
@@ -284,7 +324,15 @@ fn main() -> ExitCode {
             let Some(path) = args.get(1) else {
                 return usage("replay needs a reproducer file");
             };
-            run_replay(path)
+            let trace_out = match args.get(2).map(String::as_str) {
+                Some("--trace") => match args.get(3) {
+                    Some(p) => Some(p.as_str()),
+                    None => return usage("--trace needs an output file"),
+                },
+                Some(other) => return usage(&format!("unknown replay flag {other}")),
+                None => None,
+            };
+            run_replay(path, trace_out)
         }
         "exhaustive" | "random" | "mutation-check" => match parse_options(&args[1..]) {
             Ok(o) => match mode.as_str() {

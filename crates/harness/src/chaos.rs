@@ -19,7 +19,7 @@
 
 use bytes::Bytes;
 use mu::MemberEvent;
-use netsim::{FaultPlan, FaultStats, NodeId, PortId, SimDuration, SimTime, Simulation};
+use netsim::{FaultPlan, FaultStats, NodeId, PortId, SimDuration, SimTime, Simulation, Tracer};
 use rdma::Host;
 use replication::{LogEntry, StateMachine};
 
@@ -463,7 +463,18 @@ macro_rules! chaos_body {
 /// Panics if the cluster never accelerates, or if agreement /
 /// unique-leadership is violated — the panic *is* the test failure.
 pub fn run_p4ce(spec: &ChaosSpec, n_members: usize) -> ChaosReport {
-    let mut d = p4ce::ClusterBuilder::new(n_members).seed(spec.seed).build();
+    run_p4ce_traced(spec, n_members, &Tracer::disabled())
+}
+
+/// [`run_p4ce`] with a trace sink attached (see [`netsim::TraceHandle`]):
+/// the report is identical — tracing observes, never perturbs — but the
+/// sink collects the full cross-layer record stream of the storm, so a
+/// failing schedule can be exported and visualized.
+pub fn run_p4ce_traced(spec: &ChaosSpec, n_members: usize, tracer: &Tracer) -> ChaosReport {
+    let mut d = p4ce::ClusterBuilder::new(n_members)
+        .seed(spec.seed)
+        .tracer(tracer.clone())
+        .build();
     let accel_deadline = d.sim.now() + SimDuration::from_millis(300);
     while d.sim.now() < accel_deadline
         && !(d.leader().is_operational_leader() && d.leader().is_accelerated())
@@ -484,7 +495,16 @@ pub fn run_p4ce(spec: &ChaosSpec, n_members: usize) -> ChaosReport {
 ///
 /// Same contract as [`run_p4ce`], minus the acceleration requirement.
 pub fn run_mu(spec: &ChaosSpec, n_members: usize) -> ChaosReport {
-    let mut d = mu::ClusterBuilder::new(n_members).seed(spec.seed).build();
+    run_mu_traced(spec, n_members, &Tracer::disabled())
+}
+
+/// [`run_mu`] with a trace sink attached; same contract as
+/// [`run_p4ce_traced`].
+pub fn run_mu_traced(spec: &ChaosSpec, n_members: usize, tracer: &Tracer) -> ChaosReport {
+    let mut d = mu::ClusterBuilder::new(n_members)
+        .seed(spec.seed)
+        .tracer(tracer.clone())
+        .build();
     let n = n_members;
     chaos_body!(spec, n, d, mu::MuMember)
 }
@@ -500,10 +520,24 @@ pub fn run_mu(spec: &ChaosSpec, n_members: usize) -> ChaosReport {
 /// Panics exactly where the original failing run did — replaying a
 /// reproducer *is* re-triggering its failure.
 pub fn replay(repro: &Repro) -> Result<ChaosReport, String> {
+    replay_traced(repro, &Tracer::disabled())
+}
+
+/// Replays a `kind=chaos` reproducer with a trace sink attached, so the
+/// failing schedule can be visualized (`p4ce-explore replay --trace`).
+///
+/// # Errors
+///
+/// Reports a malformed reproducer.
+///
+/// # Panics
+///
+/// Same contract as [`replay`].
+pub fn replay_traced(repro: &Repro, tracer: &Tracer) -> Result<ChaosReport, String> {
     let (system, n, spec) = ChaosSpec::from_repro(repro)?;
     Ok(match system {
-        System::P4ce => run_p4ce(&spec, n),
-        System::Mu => run_mu(&spec, n),
+        System::P4ce => run_p4ce_traced(&spec, n, tracer),
+        System::Mu => run_mu_traced(&spec, n, tracer),
     })
 }
 

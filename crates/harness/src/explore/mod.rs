@@ -36,7 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use bytes::Bytes;
-use netsim::{EventInfo, FaultPlan, PortId, Scheduler, SimDuration, Simulation};
+use netsim::{EventInfo, FaultPlan, PortId, Scheduler, SimDuration, Simulation, Tracer};
 use rdma::Host;
 
 use crate::chaos::ChaosRecorder;
@@ -241,7 +241,7 @@ fn member_ip(i: usize) -> Ipv4Addr {
 }
 
 impl Target {
-    fn build(spec: &ExploreSpec) -> Target {
+    fn build(spec: &ExploreSpec, tracer: &Tracer) -> Target {
         // A small log keeps per-schedule allocation negligible; model
         // checking re-builds the deployment thousands of times.
         let log_size = 64 << 10;
@@ -268,6 +268,7 @@ impl Target {
                     .switch_config(switch_cfg)
                     .skip_epoch_revoke(spec.skip_epoch_revoke)
                     .reaccel_period(reaccel)
+                    .tracer(tracer.clone())
                     .build();
                 for i in 0..spec.n_members {
                     d.member_mut(i)
@@ -279,6 +280,7 @@ impl Target {
                 let mut d = mu::ClusterBuilder::new(spec.n_members)
                     .seed(spec.seed)
                     .log_size(log_size)
+                    .tracer(tracer.clone())
                     .build();
                 for i in 0..spec.n_members {
                     d.member_mut(i)
@@ -460,7 +462,21 @@ pub fn run_schedule(
     decisions: &BTreeMap<u32, u32>,
     rng: Option<u64>,
 ) -> ScheduleOutcome {
-    let mut target = Target::build(spec);
+    run_schedule_traced(spec, decisions, rng, &Tracer::disabled())
+}
+
+/// [`run_schedule`] with a trace sink attached to every layer of the
+/// deployment. The outcome is identical — tracing observes, never
+/// perturbs — but the sink collects the cross-layer record stream of
+/// the schedule, which is how a shrunk reproducer gets visualized
+/// (`p4ce-explore replay --trace`).
+pub fn run_schedule_traced(
+    spec: &ExploreSpec,
+    decisions: &BTreeMap<u32, u32>,
+    rng: Option<u64>,
+    tracer: &Tracer,
+) -> ScheduleOutcome {
+    let mut target = Target::build(spec, tracer);
     target.setup(spec);
 
     let trace = Arc::new(Mutex::new(Vec::new()));
@@ -704,8 +720,18 @@ pub fn random_walk(spec: &ExploreSpec, budget: Budget) -> ExploreReport {
 ///
 /// Reports a malformed reproducer.
 pub fn replay(repro: &Repro) -> Result<ScheduleOutcome, String> {
+    replay_traced(repro, &Tracer::disabled())
+}
+
+/// Replays a serialized reproducer with a trace sink attached, so the
+/// failing schedule can be exported and visualized.
+///
+/// # Errors
+///
+/// Reports a malformed reproducer.
+pub fn replay_traced(repro: &Repro, tracer: &Tracer) -> Result<ScheduleOutcome, String> {
     let (spec, decisions) = ExploreSpec::from_repro(repro)?;
-    Ok(run_schedule(&spec, &decisions, None))
+    Ok(run_schedule_traced(&spec, &decisions, None, tracer))
 }
 
 #[cfg(test)]

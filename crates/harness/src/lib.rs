@@ -25,9 +25,14 @@ pub mod explore;
 pub mod report;
 pub mod repro;
 pub mod runner;
+pub mod tracing;
 
 pub use chaos::{ChaosRecorder, ChaosReport, ChaosSpec};
 pub use explore::{Budget, ExploreReport, ExploreSpec, ExploreStatus};
 pub use report::{print_markdown, to_csv, to_markdown, write_csv, TableRow};
 pub use repro::Repro;
-pub use runner::{run_point, run_points, run_points_parallel, PointConfig, PointOutcome, System};
+pub use runner::{
+    run_point, run_point_metered, run_points, run_points_parallel, PointConfig, PointOutcome,
+    System,
+};
+pub use tracing::{run_point_traced, stage_rows, stage_table, write_chrome_trace, TracedPoint};

@@ -1,7 +1,8 @@
 //! Generic experiment-point runner: build a cluster (Mu or P4CE), warm it
 //! up, measure over a window, collect one outcome.
 
-use netsim::{SimDuration, SimTime};
+use netsim::{MetricsRegistry, SimDuration, SimTime, Tracer};
+use rdma::Host;
 use replication::WorkloadSpec;
 use std::fmt;
 
@@ -44,6 +45,14 @@ pub struct PointConfig {
     pub parser_cost: Option<SimDuration>,
     /// ACK-drop placement for P4CE (ablation E6).
     pub ack_drop: p4ce::AckDropStage,
+    /// Record leader latency in bounded log-linear histogram mode
+    /// instead of exact per-sample storage. Long sweeps turn this on to
+    /// keep memory flat; percentiles then carry ≲ 2% bucket error.
+    pub histogram_latency: bool,
+    /// Trace sink for the run. Disabled by default, which costs one
+    /// branch per instrumentation point; [`crate::tracing`] swaps in an
+    /// enabled handle to collect per-instance span records.
+    pub tracer: Tracer,
 }
 
 impl PointConfig {
@@ -58,6 +67,8 @@ impl PointConfig {
             seed: 42,
             parser_cost: None,
             ack_drop: p4ce::AckDropStage::Ingress,
+            histogram_latency: false,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -107,19 +118,33 @@ fn sanitize(workload: WorkloadSpec) -> WorkloadSpec {
 /// simulated time (a deployment bug, not a measurable outcome).
 pub fn run_point(cfg: &PointConfig) -> PointOutcome {
     match cfg.system {
-        System::Mu => run_mu(cfg),
-        System::P4ce => run_p4ce(cfg),
+        System::Mu => run_mu(cfg, None),
+        System::P4ce => run_p4ce(cfg, None),
     }
+}
+
+/// Runs one point and additionally snapshots every layer's counters
+/// into a [`MetricsRegistry`]: `member.N.*` (consensus layer),
+/// `host.N.*` (RDMA hosts), and — for P4CE — `switch.*` (the in-network
+/// program). Same outcome as [`run_point`] on the same config.
+pub fn run_point_metered(cfg: &PointConfig) -> (PointOutcome, MetricsRegistry) {
+    let mut reg = MetricsRegistry::new();
+    let outcome = match cfg.system {
+        System::Mu => run_mu(cfg, Some(&mut reg)),
+        System::P4ce => run_p4ce(cfg, Some(&mut reg)),
+    };
+    (outcome, reg)
 }
 
 fn setup_deadline() -> SimDuration {
     SimDuration::from_millis(500)
 }
 
-fn run_mu(cfg: &PointConfig) -> PointOutcome {
+fn run_mu(cfg: &PointConfig, metrics: Option<&mut MetricsRegistry>) -> PointOutcome {
     let mut d = mu::ClusterBuilder::new(cfg.replicas + 1)
         .workload(sanitize(cfg.workload))
         .seed(cfg.seed)
+        .tracer(cfg.tracer.clone())
         .build();
     let deadline = SimTime::ZERO + setup_deadline();
     while !d.leader().is_operational_leader() {
@@ -129,9 +154,21 @@ fn run_mu(cfg: &PointConfig) -> PointOutcome {
     d.sim.run_for(cfg.warmup);
     let t0 = d.sim.now();
     d.member_mut(0).reset_measurements(t0);
+    if cfg.histogram_latency {
+        d.member_mut(0).stats.latency.use_histogram();
+    }
     d.sim.run_for(cfg.window);
     let now = d.sim.now();
     let events_processed = d.sim.events_processed();
+    if let Some(reg) = metrics {
+        for i in 0..=cfg.replicas {
+            d.member(i).stats.register_into(reg, &format!("member.{i}"));
+            d.sim
+                .node_ref::<Host<mu::MuMember>>(d.members[i])
+                .stats()
+                .register_into(reg, &format!("host.{i}"));
+        }
+    }
     let leader = d.member_mut(0);
     let stats = &mut leader.stats;
     PointOutcome {
@@ -146,10 +183,11 @@ fn run_mu(cfg: &PointConfig) -> PointOutcome {
     }
 }
 
-fn run_p4ce(cfg: &PointConfig) -> PointOutcome {
+fn run_p4ce(cfg: &PointConfig, metrics: Option<&mut MetricsRegistry>) -> PointOutcome {
     let mut builder = p4ce::ClusterBuilder::new(cfg.replicas + 1)
         .workload(sanitize(cfg.workload))
         .seed(cfg.seed)
+        .tracer(cfg.tracer.clone())
         .ack_drop(cfg.ack_drop);
     if let Some(parser_cost) = cfg.parser_cost {
         builder = builder.parser_cost(parser_cost);
@@ -166,10 +204,23 @@ fn run_p4ce(cfg: &PointConfig) -> PointOutcome {
     d.sim.run_for(cfg.warmup);
     let t0 = d.sim.now();
     d.member_mut(0).reset_measurements(t0);
+    if cfg.histogram_latency {
+        d.member_mut(0).stats.latency.use_histogram();
+    }
     d.sim.run_for(cfg.window);
     let now = d.sim.now();
     let accelerated = d.leader().is_accelerated();
     let events_processed = d.sim.events_processed();
+    if let Some(reg) = metrics {
+        for i in 0..=cfg.replicas {
+            d.member(i).stats.register_into(reg, &format!("member.{i}"));
+            d.sim
+                .node_ref::<Host<p4ce::P4ceMember>>(d.members[i])
+                .stats()
+                .register_into(reg, &format!("host.{i}"));
+        }
+        d.switch_program().stats.register_into(reg, "switch");
+    }
     let leader = d.member_mut(0);
     let stats = &mut leader.stats;
     PointOutcome {

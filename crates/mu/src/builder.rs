@@ -1,7 +1,7 @@
 //! One-call construction of a Mu deployment: members behind a plain L3
 //! switch fabric, with an optional backup fabric.
 
-use netsim::{LinkSpec, NodeId, SimDuration, Simulation};
+use netsim::{LinkSpec, NodeId, SimDuration, Simulation, Tracer};
 use rdma::{Host, HostConfig};
 use replication::{ClusterConfig, MemberId, ProtocolTiming, WorkloadSpec};
 use std::net::Ipv4Addr;
@@ -33,6 +33,7 @@ pub struct ClusterBuilder {
     tweak_rx_capacity: Vec<(usize, usize)>,
     timing: Option<ProtocolTiming>,
     log_size: Option<usize>,
+    tracer: Tracer,
 }
 
 impl ClusterBuilder {
@@ -53,6 +54,7 @@ impl ClusterBuilder {
             tweak_rx_capacity: Vec::new(),
             timing: None,
             log_size: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -95,6 +97,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches a trace sink. Each member's host (and application) emits
+    /// records labelled `m0`, `m1`, … Disabled by default — the hot paths
+    /// then pay a single branch per potential event.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Shrinks member `i`'s NIC receive capacity.
     pub fn member_rx_capacity(mut self, member: usize, capacity: usize) -> Self {
         self.tweak_rx_capacity.push((member, capacity));
@@ -130,6 +140,7 @@ impl ClusterBuilder {
                 mcfg.path_failover_delay = SimDuration::from_millis(55);
             }
             let mut hcfg = HostConfig::new(member_ip(i));
+            hcfg.tracer = self.tracer.labeled(&format!("m{i}"));
             if let Some(cost) = self.verb_cost {
                 hcfg.post_cost = cost;
                 hcfg.reap_cost = cost;

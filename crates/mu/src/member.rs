@@ -17,7 +17,7 @@
 //! measures at 0.9 ms (§V-E).
 
 use bytes::Bytes;
-use netsim::{PortId, SimDuration, SimTime};
+use netsim::{PortId, SimDuration, SimTime, TraceEvent};
 use rdma::{
     CmEvent, Completion, CompletionStatus, HostOps, Permissions, Psn, Qpn, RdmaApp, RegionAdvert,
     RegionHandle, RejectReason, WrId,
@@ -417,6 +417,10 @@ impl MuMember {
                 leader: change.new,
             },
         );
+        ops.tracer().emit(ops.now(), || TraceEvent::ViewChange {
+            view: change.view,
+            leader: change.new.map_or(u64::MAX, |m| u64::from(m.0)),
+        });
         let i_lead = change.new == Some(self.cfg.id);
         if i_lead && !self.i_am_leader {
             self.become_leader(change.view, ops);
@@ -673,6 +677,9 @@ impl MuMember {
         let region = self.log_region.expect("registered at start");
         ops.write_local(region, at, &bytes);
         self.stats.issued += 1;
+        let (view, seq) = (self.views.view(), entry.seq);
+        ops.tracer()
+            .emit(ops.now(), || TraceEvent::Propose { view, seq });
         let mut posted = 0u32;
         let links: Vec<(MemberId, Qpn, RegionAdvert)> = self
             .repl_links
@@ -681,9 +688,16 @@ impl MuMember {
             .map(|(&id, l)| (id, l.qpn.expect("ready"), l.advert.expect("ready")))
             .collect();
         for (peer, qpn, advert) in links {
+            let wr_id = WrId(WR_REPL | (u64::from(peer.0) << 48) | entry.seq);
+            ops.tracer().emit(ops.now(), || TraceEvent::PostBound {
+                view,
+                seq,
+                qpn: u64::from(qpn.masked()),
+                wr_id: wr_id.0,
+            });
             ops.post_write(
                 qpn,
-                WrId(WR_REPL | (u64::from(peer.0) << 48) | entry.seq),
+                wr_id,
                 advert.va + at as u64,
                 advert.rkey,
                 bytes.clone(),
@@ -807,6 +821,8 @@ impl MuMember {
         ops: &mut HostOps<'_, '_>,
     ) {
         self.stats.decided += 1;
+        let view = self.views.view();
+        ops.tracer().emit(now, || TraceEvent::Decide { view, seq });
         if self.first_decision_pending {
             self.first_decision_pending = false;
             self.stats.event(
@@ -1140,6 +1156,8 @@ impl RdmaApp for MuMember {
             }
             self.next_apply_seq = entry.seq + 1;
             self.stats.applied += 1;
+            let seq = entry.seq;
+            ops.tracer().emit(ops.now(), || TraceEvent::Apply { seq });
             if let Some(sm) = &mut self.state_machine {
                 sm.apply(entry);
             }

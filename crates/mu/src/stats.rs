@@ -1,6 +1,6 @@
 //! Measurement state shared by the Mu and P4CE replication engines.
 
-use netsim::{LatencyStats, SimDuration, SimTime, Throughput};
+use netsim::{LatencyRecorder, MetricsRegistry, SimDuration, SimTime, Throughput};
 use replication::MemberId;
 
 /// Cluster-visible happenings, timestamped for the fail-over experiments
@@ -56,8 +56,10 @@ pub struct MemberStats {
     pub decided: u64,
     /// Requests issued to the replication engine.
     pub issued: u64,
-    /// Latency samples (excludes the warm-up prefix).
-    pub latency: LatencyStats,
+    /// Latency samples (excludes the warm-up prefix). Exact mode by
+    /// default; long-running sweeps switch it to bounded histogram mode
+    /// with [`LatencyRecorder::use_histogram`].
+    pub latency: LatencyRecorder,
     /// Decided-operations throughput window (excludes warm-up).
     pub throughput: Throughput,
     /// Entries applied from the log (replica side).
@@ -74,7 +76,7 @@ impl Default for MemberStats {
         MemberStats {
             decided: 0,
             issued: 0,
-            latency: LatencyStats::default(),
+            latency: LatencyRecorder::default(),
             throughput: Throughput::default(),
             applied: 0,
             min_credit_seen: 31,
@@ -111,6 +113,37 @@ impl MemberStats {
     pub fn mean_latency(&self) -> SimDuration {
         self.latency.mean()
     }
+
+    /// Snapshots the counters into `reg` under `prefix` (e.g.
+    /// `member.0`): `"{prefix}.decided"`, `.issued`, `.applied`,
+    /// `.min_credit`, `.view_changes`, plus the latency distribution as
+    /// a histogram at `"{prefix}.latency"`.
+    pub fn register_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.decided"), self.decided);
+        reg.set_counter(&format!("{prefix}.issued"), self.issued);
+        reg.set_counter(&format!("{prefix}.applied"), self.applied);
+        reg.set_gauge(
+            &format!("{prefix}.min_credit"),
+            f64::from(self.min_credit_seen),
+        );
+        let view_changes = self
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, MemberEvent::ViewChange { .. }))
+            .count() as u64;
+        reg.set_counter(&format!("{prefix}.view_changes"), view_changes);
+        let h = reg.histogram_mut(&format!("{prefix}.latency"));
+        match &self.latency {
+            LatencyRecorder::Histogram(hist) => h.merge(hist),
+            LatencyRecorder::Exact(_) => {
+                let mut copy = self.latency.clone();
+                copy.use_histogram();
+                if let LatencyRecorder::Histogram(hist) = &copy {
+                    h.merge(hist);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -135,5 +168,34 @@ mod tests {
         assert!(s
             .event_time(|e| matches!(e, MemberEvent::PathFailover))
             .is_none());
+    }
+
+    #[test]
+    fn registry_snapshot_carries_counters_and_latency() {
+        let mut s = MemberStats {
+            decided: 12,
+            issued: 15,
+            applied: 3,
+            min_credit_seen: 9,
+            ..Default::default()
+        };
+        s.event(
+            SimTime::from_micros(1),
+            MemberEvent::ViewChange {
+                view: 1,
+                leader: Some(MemberId(0)),
+            },
+        );
+        s.latency.record(SimDuration::from_micros(4));
+        let mut reg = MetricsRegistry::new();
+        s.register_into(&mut reg, "member.0");
+        assert_eq!(reg.counter("member.0.decided"), Some(12));
+        assert_eq!(reg.counter("member.0.issued"), Some(15));
+        assert_eq!(reg.counter("member.0.applied"), Some(3));
+        assert_eq!(reg.counter("member.0.view_changes"), Some(1));
+        assert_eq!(reg.gauge("member.0.min_credit"), Some(9.0));
+        let h = reg.histogram("member.0.latency").expect("registered");
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.mean(), SimDuration::from_micros(4));
     }
 }

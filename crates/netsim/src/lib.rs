@@ -49,17 +49,25 @@
 mod cpu;
 mod fault;
 mod link;
+pub mod metrics;
 mod node;
 mod sched;
 mod sim;
 mod stats;
 mod time;
+pub mod trace;
 
 pub use cpu::Cpu;
 pub use fault::{FaultPlan, FaultStats, Partition};
 pub use link::{Bandwidth, LinkSpec, LinkStats, WIRE_OVERHEAD_BYTES};
+pub use metrics::MetricsRegistry;
 pub use node::{Context, Frame, Node, NodeId, PortId, TimerToken};
 pub use sched::{EventClass, EventInfo, FifoScheduler, ReplayScheduler, Scheduler};
 pub use sim::{Simulation, TapId};
-pub use stats::{LatencyStats, Throughput};
+pub use stats::{HistogramStats, LatencyRecorder, LatencyStats, Throughput};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    assemble_spans, breakdown, chrome_trace_json, InstanceSpan, RetransmitKind, StageBreakdown,
+    StageLatency, TraceBuffer, TraceEvent, TraceHandle, TraceRecord, TraceSink, Tracer,
+    STAGE_NAMES,
+};

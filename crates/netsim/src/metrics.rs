@@ -1,0 +1,151 @@
+//! A unified registry of named counters, gauges and histograms.
+//!
+//! The per-component stat structs (`HostStats`, `MemberStats`, the
+//! switch stats) stay the cheap, field-access hot path; a
+//! [`MetricsRegistry`] is the *reporting* path: after (or during) a run,
+//! each component snapshots its struct into the registry under a dotted
+//! metric name (`rdma.retransmit.timeout`, `p4ce.switch.scattered`, …),
+//! and reports render one sorted, uniform listing instead of N ad-hoc
+//! printouts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::stats::HistogramStats;
+
+/// Named counters (monotonic totals), gauges (point-in-time values) and
+/// histograms (bounded-memory latency distributions).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramStats>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Sets counter `name` to `value` (snapshot semantics).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero.
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Reads counter `name`.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram registered under `name`, creating it empty. Merge
+    /// samples in via [`HistogramStats::merge`] or record directly.
+    pub fn histogram_mut(&mut self, name: &str) -> &mut HistogramStats {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Reads histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStats> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramStats)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Counters whose names start with `prefix`, sorted.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters()
+            .filter(move |(name, _)| name.starts_with(prefix))
+    }
+
+    /// `true` when nothing was registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders everything as sorted `name value` lines; histograms show
+    /// `count/mean/p50/p99/max` in nanoseconds.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name} count={} mean_ns={} p50_ns={} p99_ns={} max_ns={}",
+                h.len(),
+                h.mean().as_nanos(),
+                h.percentile(50.0).as_nanos(),
+                h.percentile(99.0).as_nanos(),
+                h.max().as_nanos(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        assert!(reg.is_empty());
+        reg.set_counter("rdma.tx.packets", 10);
+        reg.add_counter("rdma.tx.packets", 5);
+        reg.add_counter("rdma.rx.packets", 2);
+        reg.set_gauge("p4ce.min_credit", 17.0);
+        reg.histogram_mut("consensus.latency")
+            .record(SimDuration::from_micros(3));
+        assert_eq!(reg.counter("rdma.tx.packets"), Some(15));
+        assert_eq!(reg.counter("missing"), None);
+        assert_eq!(reg.gauge("p4ce.min_credit"), Some(17.0));
+        assert_eq!(reg.histogram("consensus.latency").map(|h| h.len()), Some(1));
+        let names: Vec<&str> = reg.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["rdma.rx.packets", "rdma.tx.packets"], "sorted");
+        assert_eq!(
+            reg.counters_with_prefix("rdma.tx").count(),
+            1,
+            "prefix filter"
+        );
+        let rendered = reg.render();
+        assert!(rendered.contains("rdma.tx.packets 15"));
+        assert!(rendered.contains("consensus.latency count=1"));
+    }
+}

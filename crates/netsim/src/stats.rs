@@ -99,6 +99,300 @@ impl LatencyStats {
     }
 }
 
+// Log-linear bucket layout: values 0..16 ns get exact buckets; every
+// octave above is split into 16 linear sub-buckets, so the relative
+// quantization error is bounded by 1/16 (±3.2% using midpoints).
+const HIST_SUB_BITS: u32 = 4;
+const HIST_SUB: usize = 1 << HIST_SUB_BITS; // 16
+const HIST_BUCKETS: usize = HIST_SUB + (64 - HIST_SUB_BITS as usize) * HIST_SUB;
+
+fn hist_index(v: u64) -> usize {
+    if v < HIST_SUB as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // >= HIST_SUB_BITS
+        let sub = ((v >> (octave - HIST_SUB_BITS)) as usize) & (HIST_SUB - 1);
+        HIST_SUB + (octave - HIST_SUB_BITS) as usize * HIST_SUB + sub
+    }
+}
+
+/// Midpoint of bucket `idx` (exact for the linear buckets).
+fn hist_value(idx: usize) -> u64 {
+    if idx < HIST_SUB {
+        idx as u64
+    } else {
+        let octave = HIST_SUB_BITS + ((idx - HIST_SUB) / HIST_SUB) as u32;
+        let sub = ((idx - HIST_SUB) % HIST_SUB) as u64;
+        let width = 1u64 << (octave - HIST_SUB_BITS);
+        (1u64 << octave) + sub * width + width / 2
+    }
+}
+
+/// A bounded-memory latency distribution: a fixed array of log-linear
+/// buckets (16 linear sub-buckets per power of two) instead of every
+/// sample. Quantiles carry a ≤ ±3.2% relative quantization error;
+/// `mean`, `min`, `max` and `len` are exact. Memory is a fixed ~8 KiB
+/// regardless of sample count — use this instead of [`LatencyStats`] in
+/// long-running sweeps.
+///
+/// ```
+/// use netsim::{HistogramStats, SimDuration};
+/// let mut h = HistogramStats::new();
+/// for us in 1..=1000u64 {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// assert_eq!(h.len(), 1000);
+/// let p50 = h.percentile(50.0).as_micros_f64();
+/// assert!((p50 - 500.0).abs() / 500.0 < 0.04, "p50 ~ 500us, got {p50}");
+/// ```
+#[derive(Clone)]
+pub struct HistogramStats {
+    counts: Box<[u64; HIST_BUCKETS]>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for HistogramStats {
+    fn default() -> Self {
+        HistogramStats {
+            counts: Box::new([0; HIST_BUCKETS]),
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for HistogramStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramStats")
+            .field("count", &self.count)
+            .field("min_ns", &self.min_ns)
+            .field("max_ns", &self.max_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HistogramStats {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        HistogramStats::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        let ns = latency.as_nanos();
+        self.counts[hist_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded (exact).
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean latency (exact). Zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_ns / self.count as u128) as u64)
+    }
+
+    /// The `p`-th percentile (nearest-rank over buckets, midpoint
+    /// representative, clamped to the exact min/max). Zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return SimDuration::from_nanos(hist_value(idx).clamp(self.min_ns, self.max_ns));
+            }
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Median latency. Zero when empty.
+    pub fn median(&self) -> SimDuration {
+        self.percentile(50.0)
+    }
+
+    /// Maximum latency (exact). Zero when empty.
+    pub fn max(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Minimum latency (exact). Zero when empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.min_ns)
+    }
+
+    /// Discards all samples.
+    pub fn clear(&mut self) {
+        *self = HistogramStats::default();
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &HistogramStats) {
+        for (a, &b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        if other.count > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+    }
+}
+
+/// Either-exact-or-bounded latency recording with one method surface.
+///
+/// Defaults to [`LatencyStats`] (exact samples, deterministic nearest-rank
+/// percentiles — what the figure experiments need). Long-running sweeps
+/// switch an instance to [`HistogramStats`] via
+/// [`use_histogram`](LatencyRecorder::use_histogram) to bound memory.
+#[derive(Debug, Clone)]
+pub enum LatencyRecorder {
+    /// Every sample stored (unbounded memory, exact percentiles).
+    Exact(LatencyStats),
+    /// Fixed log-linear buckets (bounded memory, ±3.2% percentiles).
+    Histogram(HistogramStats),
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder::Exact(LatencyStats::new())
+    }
+}
+
+impl LatencyRecorder {
+    /// An empty exact recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Switches to histogram mode, replaying any exact samples already
+    /// collected. A no-op when already in histogram mode.
+    pub fn use_histogram(&mut self) {
+        if let LatencyRecorder::Exact(exact) = self {
+            let mut h = HistogramStats::new();
+            // Nearest-rank percentile at p = (i+1)/n reads sorted sample
+            // i exactly, so stepping i over 0..n replays every sample.
+            if !exact.is_empty() {
+                let mut tmp = exact.clone();
+                for i in 0..tmp.len() {
+                    let p = (i as f64 + 1.0) * 100.0 / tmp.len() as f64;
+                    h.record(tmp.percentile(p.min(100.0)));
+                }
+            }
+            *self = LatencyRecorder::Histogram(h);
+        }
+    }
+
+    /// `true` in histogram (bounded-memory) mode.
+    pub fn is_histogram(&self) -> bool {
+        matches!(self, LatencyRecorder::Histogram(_))
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        match self {
+            LatencyRecorder::Exact(s) => s.record(latency),
+            LatencyRecorder::Histogram(h) => h.record(latency),
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        match self {
+            LatencyRecorder::Exact(s) => s.len(),
+            LatencyRecorder::Histogram(h) => h.len(),
+        }
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mean latency. Zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        match self {
+            LatencyRecorder::Exact(s) => s.mean(),
+            LatencyRecorder::Histogram(h) => h.mean(),
+        }
+    }
+
+    /// The `p`-th percentile. Zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> SimDuration {
+        match self {
+            LatencyRecorder::Exact(s) => s.percentile(p),
+            LatencyRecorder::Histogram(h) => h.percentile(p),
+        }
+    }
+
+    /// Median latency. Zero when empty.
+    pub fn median(&mut self) -> SimDuration {
+        self.percentile(50.0)
+    }
+
+    /// Maximum latency. Zero when empty.
+    pub fn max(&self) -> SimDuration {
+        match self {
+            LatencyRecorder::Exact(s) => s.max(),
+            LatencyRecorder::Histogram(h) => h.max(),
+        }
+    }
+
+    /// Minimum latency. Zero when empty.
+    pub fn min(&self) -> SimDuration {
+        match self {
+            LatencyRecorder::Exact(s) => s.min(),
+            LatencyRecorder::Histogram(h) => h.min(),
+        }
+    }
+
+    /// Discards all samples (the mode is kept).
+    pub fn clear(&mut self) {
+        match self {
+            LatencyRecorder::Exact(s) => s.clear(),
+            LatencyRecorder::Histogram(h) => h.clear(),
+        }
+    }
+}
+
 /// Throughput accounting over a measurement window.
 ///
 /// ```
@@ -231,6 +525,94 @@ mod tests {
         t.reset(now);
         assert_eq!(t.ops(), 0);
         assert_eq!(t.ops_per_sec(SimTime::from_secs(3)), 0.0);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_within_quantization_error() {
+        let mut exact = LatencyStats::new();
+        let mut hist = HistogramStats::new();
+        // A skewed distribution spanning five decades.
+        let mut x = 7u64;
+        for _ in 0..50_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let ns = 50 + (x >> 40) % 1_000_000;
+            exact.record(SimDuration::from_nanos(ns));
+            hist.record(SimDuration::from_nanos(ns));
+        }
+        assert_eq!(hist.len(), exact.len());
+        assert_eq!(hist.min(), exact.min(), "min is exact");
+        assert_eq!(hist.max(), exact.max(), "max is exact");
+        assert_eq!(hist.mean(), exact.mean(), "mean is exact");
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 99.9] {
+            let e = exact.percentile(p).as_nanos() as f64;
+            let h = hist.percentile(p).as_nanos() as f64;
+            assert!(
+                (h - e).abs() / e <= 1.0 / 16.0,
+                "p{p}: histogram {h} vs exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_is_empty_clear_and_merge() {
+        let mut h = HistogramStats::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        h.record(SimDuration::from_nanos(5));
+        assert_eq!(h.percentile(50.0).as_nanos(), 5, "linear buckets are exact");
+        let mut other = HistogramStats::new();
+        other.record(SimDuration::from_micros(1));
+        h.merge(&other);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.min().as_nanos(), 5);
+        assert_eq!(h.max().as_nanos(), 1000);
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn recorder_switches_modes_preserving_samples() {
+        let mut r = LatencyRecorder::new();
+        assert!(!r.is_histogram());
+        for us in [10u64, 20, 30, 40] {
+            r.record(SimDuration::from_micros(us));
+        }
+        let exact_mean = r.mean();
+        r.use_histogram();
+        assert!(r.is_histogram());
+        assert_eq!(r.len(), 4, "samples survive the switch");
+        assert_eq!(r.mean(), exact_mean, "mean survives exactly");
+        r.use_histogram(); // idempotent
+        r.clear();
+        assert!(r.is_empty());
+        assert!(r.is_histogram(), "clear keeps the mode");
+        r.record(SimDuration::from_micros(7));
+        assert_eq!(r.len(), 1);
+        assert!(r.median().as_nanos() > 0);
+    }
+
+    #[test]
+    fn hist_buckets_cover_the_full_range() {
+        // Index/value are mutually consistent and monotone.
+        let mut prev = 0usize;
+        for v in [0u64, 1, 15, 16, 17, 255, 256, 1 << 20, u64::MAX] {
+            let idx = hist_index(v);
+            assert!(idx < HIST_BUCKETS, "index {idx} in range for {v}");
+            assert!(idx >= prev, "monotone at {v}");
+            prev = idx;
+            if v >= 16 {
+                let rep = hist_value(idx);
+                assert!(
+                    (rep as f64 - v as f64).abs() / v as f64 <= 1.0 / 16.0,
+                    "representative {rep} close to {v}"
+                );
+            } else {
+                assert_eq!(hist_value(idx), v, "linear bucket exact for {v}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1423 @@
+//! Zero-overhead-when-disabled tracing of consensus instances.
+//!
+//! Every layer of the stack (member application, RDMA host, switch
+//! pipeline) holds a [`Tracer`] — a cheap clonable handle that is either
+//! *disabled* (the default: one `Option` branch per instrumentation
+//! point, the event constructor never runs) or *attached* to a shared
+//! [`TraceBuffer`]. Records carry the emitting node's label and the
+//! simulation timestamp, so one buffer collects a causally ordered,
+//! cross-layer log of a whole cluster run.
+//!
+//! The taxonomy follows one consensus instance through the stack:
+//!
+//! ```text
+//! Propose(view,seq) ─ PostBound(qpn,wr_id) ─ WqePost ─ WireTx(psn…)
+//!   → Scatter(psn) ─ ScatterCopy(psn,rid)           [switch ingress/egress]
+//!   → GatherAck(psn,endpoint)… quorum=true          [switch gather]
+//!   → AckRx(qpn,psn) ─ Decide(view,seq)             [leader host/member]
+//! ```
+//!
+//! [`assemble_spans`] stitches those records back into per-instance
+//! [`InstanceSpan`]s keyed by `(view, seq)`; because adjacent stages
+//! share their boundary timestamps, the five stage durations of a
+//! complete span sum *exactly* to its end-to-end latency.
+//! [`chrome_trace_json`] exports the records (and the assembled stage
+//! slices) as Chrome/Perfetto `trace_events` JSON, and [`json`] is a
+//! minimal parser used to validate that export round-trips.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::stats::LatencyStats;
+use crate::time::{SimDuration, SimTime};
+
+/// The RoCE packet-sequence-number space is 24 bits wide; PSN arithmetic
+/// during span assembly wraps in it.
+pub const PSN_MASK: u64 = 0x00ff_ffff;
+
+/// Why a host retransmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetransmitKind {
+    /// The retransmission timer fired (`QueuePair::check_timeout`).
+    Timeout,
+    /// The peer NAKed an out-of-sequence packet (`QueuePair::handle_nak`).
+    Nak,
+}
+
+impl RetransmitKind {
+    /// Short label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RetransmitKind::Timeout => "timeout",
+            RetransmitKind::Nak => "nak",
+        }
+    }
+}
+
+/// One traced occurrence. All identifiers are plain integers so the
+/// simulator core stays independent of the RDMA/consensus crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    // -- consensus layer (members) -------------------------------------
+    /// A leader accepted a value for consensus instance `(view, seq)`.
+    Propose {
+        /// View the proposing leader is operating in.
+        view: u64,
+        /// Log sequence number of the instance.
+        seq: u64,
+    },
+    /// The instance was bound to a work request on a queue pair.
+    PostBound {
+        /// View of the instance.
+        view: u64,
+        /// Sequence number of the instance.
+        seq: u64,
+        /// Local queue-pair number the write was posted on.
+        qpn: u64,
+        /// Work-request id carrying the instance.
+        wr_id: u64,
+    },
+    /// The instance was decided (`f` acknowledgements reached the leader).
+    Decide {
+        /// View of the instance.
+        view: u64,
+        /// Sequence number of the instance.
+        seq: u64,
+    },
+    /// A member applied a decided entry to its state machine.
+    Apply {
+        /// Sequence number of the applied entry.
+        seq: u64,
+    },
+    /// A member moved to a new view.
+    ViewChange {
+        /// The new view number.
+        view: u64,
+        /// The believed leader of the new view (`u64::MAX` when none).
+        leader: u64,
+    },
+    /// A P4CE leader fell back from the in-network path to direct writes.
+    FellBack,
+    /// The switch group for the accelerated path became operational.
+    GroupEstablished,
+    // -- RDMA host layer ----------------------------------------------
+    /// A work-queue element was posted to the send queue.
+    WqePost {
+        /// Local queue-pair number.
+        qpn: u64,
+        /// Work-request id.
+        wr_id: u64,
+    },
+    /// The NIC staged a message's packets onto the wire.
+    WireTx {
+        /// Local queue-pair number.
+        qpn: u64,
+        /// Work-request id of the message.
+        wr_id: u64,
+        /// PSN of the message's first packet.
+        psn: u64,
+        /// Number of packets the message was segmented into.
+        npkts: u64,
+    },
+    /// The responder NIC generated a positive acknowledgement.
+    AckTx {
+        /// Local queue-pair number of the responder.
+        qpn: u64,
+        /// PSN being acknowledged.
+        psn: u64,
+    },
+    /// A requester NIC received a positive acknowledgement.
+    AckRx {
+        /// Local queue-pair number.
+        qpn: u64,
+        /// Acknowledged PSN.
+        psn: u64,
+        /// Credits carried in the AETH field.
+        credits: u64,
+    },
+    /// The responder NIC generated a negative acknowledgement.
+    NakTx {
+        /// Local queue-pair number of the responder.
+        qpn: u64,
+        /// Expected PSN reported in the NAK.
+        psn: u64,
+    },
+    /// A requester NIC received a negative acknowledgement.
+    NakRx {
+        /// Local queue-pair number.
+        qpn: u64,
+        /// NAKed PSN.
+        psn: u64,
+    },
+    /// A requester retransmitted in-flight packets.
+    Retransmit {
+        /// Local queue-pair number.
+        qpn: u64,
+        /// What triggered the retransmission.
+        kind: RetransmitKind,
+        /// How many packets went out again.
+        packets: u64,
+    },
+    // -- switch pipeline -----------------------------------------------
+    /// The switch ingress accepted a leader write for scatter.
+    Scatter {
+        /// Leader-space PSN of the packet.
+        psn: u64,
+        /// Distance from the group's leader start PSN (≈ packet index).
+        dist: u64,
+    },
+    /// The switch egress rewrote one scatter copy for a replica.
+    ScatterCopy {
+        /// Leader-space PSN of the packet.
+        psn: u64,
+        /// Replica id (egress `rid`) the copy went to.
+        rid: u64,
+    },
+    /// The switch gather absorbed or forwarded one replica ACK.
+    GatherAck {
+        /// Leader-space PSN the ACK maps back to.
+        psn: u64,
+        /// Gather endpoint index the ACK arrived on.
+        endpoint: u64,
+        /// Distinct replicas seen for this PSN after this ACK.
+        distinct: u64,
+        /// `true` when this ACK completed the quorum and was forwarded.
+        quorum: bool,
+    },
+    /// The gather's credit fold clamped the forwarded credits below the
+    /// triggering ACK's own value.
+    CreditClamp {
+        /// Leader-space PSN of the forwarded ACK.
+        psn: u64,
+        /// The folded (minimum) credit value actually forwarded.
+        folded: u64,
+        /// The credit value the triggering ACK itself carried.
+        carried: u64,
+    },
+    /// The switch passed a replica NAK through to the leader.
+    NakForward {
+        /// Leader-space PSN the NAK maps back to.
+        psn: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Short name of the event kind, used in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Propose { .. } => "propose",
+            TraceEvent::PostBound { .. } => "post_bound",
+            TraceEvent::Decide { .. } => "decide",
+            TraceEvent::Apply { .. } => "apply",
+            TraceEvent::ViewChange { .. } => "view_change",
+            TraceEvent::FellBack => "fell_back",
+            TraceEvent::GroupEstablished => "group_established",
+            TraceEvent::WqePost { .. } => "wqe_post",
+            TraceEvent::WireTx { .. } => "wire_tx",
+            TraceEvent::AckTx { .. } => "ack_tx",
+            TraceEvent::AckRx { .. } => "ack_rx",
+            TraceEvent::NakTx { .. } => "nak_tx",
+            TraceEvent::NakRx { .. } => "nak_rx",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::Scatter { .. } => "scatter",
+            TraceEvent::ScatterCopy { .. } => "scatter_copy",
+            TraceEvent::GatherAck { .. } => "gather_ack",
+            TraceEvent::CreditClamp { .. } => "credit_clamp",
+            TraceEvent::NakForward { .. } => "nak_forward",
+        }
+    }
+
+    /// The event's fields as `(name, value)` pairs, for exports.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            TraceEvent::Propose { view, seq } => vec![("view", view), ("seq", seq)],
+            TraceEvent::PostBound {
+                view,
+                seq,
+                qpn,
+                wr_id,
+            } => vec![("view", view), ("seq", seq), ("qpn", qpn), ("wr_id", wr_id)],
+            TraceEvent::Decide { view, seq } => vec![("view", view), ("seq", seq)],
+            TraceEvent::Apply { seq } => vec![("seq", seq)],
+            TraceEvent::ViewChange { view, leader } => vec![("view", view), ("leader", leader)],
+            TraceEvent::FellBack | TraceEvent::GroupEstablished => vec![],
+            TraceEvent::WqePost { qpn, wr_id } => vec![("qpn", qpn), ("wr_id", wr_id)],
+            TraceEvent::WireTx {
+                qpn,
+                wr_id,
+                psn,
+                npkts,
+            } => vec![
+                ("qpn", qpn),
+                ("wr_id", wr_id),
+                ("psn", psn),
+                ("npkts", npkts),
+            ],
+            TraceEvent::AckTx { qpn, psn } | TraceEvent::NakTx { qpn, psn } => {
+                vec![("qpn", qpn), ("psn", psn)]
+            }
+            TraceEvent::AckRx { qpn, psn, credits } => {
+                vec![("qpn", qpn), ("psn", psn), ("credits", credits)]
+            }
+            TraceEvent::NakRx { qpn, psn } => vec![("qpn", qpn), ("psn", psn)],
+            TraceEvent::Retransmit { qpn, kind, packets } => vec![
+                ("qpn", qpn),
+                ("timeout", u64::from(kind == RetransmitKind::Timeout)),
+                ("packets", packets),
+            ],
+            TraceEvent::Scatter { psn, dist } => vec![("psn", psn), ("dist", dist)],
+            TraceEvent::ScatterCopy { psn, rid } => vec![("psn", psn), ("rid", rid)],
+            TraceEvent::GatherAck {
+                psn,
+                endpoint,
+                distinct,
+                quorum,
+            } => vec![
+                ("psn", psn),
+                ("endpoint", endpoint),
+                ("distinct", distinct),
+                ("quorum", u64::from(quorum)),
+            ],
+            TraceEvent::CreditClamp {
+                psn,
+                folded,
+                carried,
+            } => vec![("psn", psn), ("folded", folded), ("carried", carried)],
+            TraceEvent::NakForward { psn } => vec![("psn", psn)],
+        }
+    }
+}
+
+/// One entry of a [`TraceBuffer`]: what happened, where, and when.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Simulation time of the occurrence.
+    pub t: SimTime,
+    /// Label of the emitting node (e.g. `m0`, `switch`).
+    pub node: Arc<str>,
+    /// The occurrence itself.
+    pub event: TraceEvent,
+}
+
+/// Receives trace records. [`TraceBuffer`] is the standard in-memory
+/// implementation; alternative sinks (streaming, filtering) implement
+/// this.
+pub trait TraceSink {
+    /// Accepts one record.
+    fn record(&mut self, rec: TraceRecord);
+}
+
+/// An in-memory, append-only store of trace records.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// The records collected so far, in arrival order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Discards all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn record(&mut self, rec: TraceRecord) {
+        self.records.push(rec);
+    }
+}
+
+/// Owner's handle on a shared [`TraceBuffer`]: create one per traced
+/// run, derive per-node [`Tracer`]s from it, and read the records back
+/// after the run. Clonable and `Send`, so parallel sweeps can give each
+/// point its own buffer.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle {
+    inner: Arc<Mutex<TraceBuffer>>,
+}
+
+impl TraceHandle {
+    /// A handle on a fresh, empty buffer.
+    pub fn new() -> Self {
+        TraceHandle::default()
+    }
+
+    /// Derives an *enabled* tracer that stamps records with `label`.
+    pub fn tracer(&self, label: &str) -> Tracer {
+        Tracer {
+            sink: Some(Arc::clone(&self.inner)),
+            label: Arc::from(label),
+        }
+    }
+
+    /// A snapshot of the records collected so far.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner
+            .lock()
+            .expect("trace buffer poisoned")
+            .records()
+            .to_vec()
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// `true` when nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards everything collected so far.
+    pub fn clear(&self) {
+        self.inner.lock().expect("trace buffer poisoned").clear();
+    }
+}
+
+/// A per-node emitter. Disabled by default — and a disabled tracer's
+/// [`emit`](Tracer::emit) is a single `Option` branch: the event
+/// constructor closure never runs, no allocation, no lock. Configs embed
+/// one (`#[derive(Clone)]`-compatible, `Default` = disabled) and builders
+/// swap in enabled ones from a [`TraceHandle`].
+#[derive(Clone)]
+pub struct Tracer {
+    sink: Option<Arc<Mutex<TraceBuffer>>>,
+    label: Arc<str>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer {
+            sink: None,
+            label: Arc::from(""),
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.sink.is_some())
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The disabled tracer (same as `Tracer::default()`).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// `true` when records actually go somewhere.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The same sink under a different node label.
+    pub fn labeled(&self, label: &str) -> Tracer {
+        Tracer {
+            sink: self.sink.clone(),
+            label: Arc::from(label),
+        }
+    }
+
+    /// Records the event produced by `f` at time `t`. When the tracer is
+    /// disabled this is one branch; `f` is not called.
+    #[inline]
+    pub fn emit(&self, t: SimTime, f: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            let rec = TraceRecord {
+                t,
+                node: Arc::clone(&self.label),
+                event: f(),
+            };
+            sink.lock().expect("trace buffer poisoned").record(rec);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Span assembly
+// ----------------------------------------------------------------------
+
+/// Names of the five stages of a complete accelerated-path span, in
+/// chain order. Adjacent stages share boundary timestamps, so the five
+/// durations telescope to the end-to-end latency exactly.
+pub const STAGE_NAMES: [&str; 5] = [
+    "post",      // Propose   -> WireTx  : verb post + NIC send queue
+    "scatter",   // WireTx    -> Scatter : uplink wire + switch ingress
+    "replicate", // Scatter   -> quorum  : fan-out, replica NICs, f ACKs
+    "gather",    // quorum    -> AckRx   : switch->leader wire + NIC rx
+    "decide",    // AckRx     -> Decide  : completion reap + member CPU
+];
+
+/// One consensus instance's reconstructed timeline.
+#[derive(Debug, Clone)]
+pub struct InstanceSpan {
+    /// View of the instance.
+    pub view: u64,
+    /// Sequence number of the instance.
+    pub seq: u64,
+    /// Node label of the proposing leader.
+    pub node: Arc<str>,
+    /// When the leader accepted the value.
+    pub propose: SimTime,
+    /// When the leader NIC staged the bound message onto the wire.
+    pub wire_tx: Option<SimTime>,
+    /// When the switch ingress accepted the (last) packet for scatter.
+    pub scatter: Option<SimTime>,
+    /// When the f-th distinct replica ACK reached the switch gather.
+    pub quorum: Option<SimTime>,
+    /// When the forwarded ACK reached the leader NIC.
+    pub ack_rx: Option<SimTime>,
+    /// When the member recorded the decision.
+    pub decide: Option<SimTime>,
+    /// Replica ACKs the gather counted for the instance's last packet.
+    pub gather_acks: u64,
+}
+
+impl InstanceSpan {
+    /// `true` when every stage boundary was observed.
+    pub fn is_complete(&self) -> bool {
+        self.wire_tx.is_some()
+            && self.scatter.is_some()
+            && self.quorum.is_some()
+            && self.ack_rx.is_some()
+            && self.decide.is_some()
+    }
+
+    /// The five stage durations (see [`STAGE_NAMES`]), when complete.
+    pub fn stage_durations(&self) -> Option<[SimDuration; 5]> {
+        let (wt, sc, qu, ar, de) = (
+            self.wire_tx?,
+            self.scatter?,
+            self.quorum?,
+            self.ack_rx?,
+            self.decide?,
+        );
+        Some([
+            wt.saturating_duration_since(self.propose),
+            sc.saturating_duration_since(wt),
+            qu.saturating_duration_since(sc),
+            ar.saturating_duration_since(qu),
+            de.saturating_duration_since(ar),
+        ])
+    }
+
+    /// Propose-to-decide latency, once decided.
+    pub fn end_to_end(&self) -> Option<SimDuration> {
+        Some(self.decide?.saturating_duration_since(self.propose))
+    }
+}
+
+/// Finds the first `(t, payload)` entry at or after `not_before` in a
+/// time-sorted list.
+fn first_at_or_after<T: Copy>(list: &[(SimTime, T)], not_before: SimTime) -> Option<(SimTime, T)> {
+    list.iter().copied().find(|&(t, _)| t >= not_before)
+}
+
+/// Stitches raw records into per-instance spans, keyed by `(view, seq)`.
+///
+/// The correlation chain is: `Propose`/`PostBound` give `(qpn, wr_id)`;
+/// the first `WireTx` on the same node for that pair gives the PSN
+/// range; switch `Scatter`/`GatherAck` and the leader's `AckRx` are
+/// matched on the range's *last* PSN (a message is decided when its last
+/// packet is acknowledged); `Decide` closes the span. Instances decided
+/// off the accelerated path (e.g. during fallback) yield partial spans.
+pub fn assemble_spans(records: &[TraceRecord]) -> Vec<InstanceSpan> {
+    // A time-sorted observation list per correlation key: `(node, qpn,
+    // wr_id or psn)` on the host side, bare leader-space PSN on the
+    // switch side.
+    type PerKey<K, T> = HashMap<K, Vec<(SimTime, T)>>;
+    type PerQp<T> = PerKey<(Arc<str>, u64, u64), T>;
+
+    // Index the correlation streams. Records from one simulation arrive
+    // time-ordered; sort defensively so merged buffers also work.
+    let mut wire_tx: PerQp<(u64, u64)> = HashMap::new();
+    let mut scatter: PerKey<u64, ()> = HashMap::new();
+    let mut gather: PerKey<u64, bool> = HashMap::new();
+    let mut ack_rx: PerQp<()> = HashMap::new();
+    struct Pending {
+        node: Arc<str>,
+        propose: SimTime,
+        bound: Option<(SimTime, u64, u64)>,
+        decide: Option<SimTime>,
+    }
+    let mut instances: Vec<((u64, u64), Pending)> = Vec::new();
+    let mut index: HashMap<(u64, u64), usize> = HashMap::new();
+
+    for rec in records {
+        match rec.event {
+            TraceEvent::Propose { view, seq } => {
+                index.entry((view, seq)).or_insert_with(|| {
+                    instances.push((
+                        (view, seq),
+                        Pending {
+                            node: Arc::clone(&rec.node),
+                            propose: rec.t,
+                            bound: None,
+                            decide: None,
+                        },
+                    ));
+                    instances.len() - 1
+                });
+            }
+            TraceEvent::PostBound {
+                view,
+                seq,
+                qpn,
+                wr_id,
+            } => {
+                if let Some(&i) = index.get(&(view, seq)) {
+                    let p = &mut instances[i].1;
+                    if p.bound.is_none() {
+                        p.bound = Some((rec.t, qpn, wr_id));
+                    }
+                }
+            }
+            TraceEvent::Decide { view, seq } => {
+                if let Some(&i) = index.get(&(view, seq)) {
+                    let p = &mut instances[i].1;
+                    if p.decide.is_none() {
+                        p.decide = Some(rec.t);
+                    }
+                }
+            }
+            TraceEvent::WireTx {
+                qpn,
+                wr_id,
+                psn,
+                npkts,
+            } => wire_tx
+                .entry((Arc::clone(&rec.node), qpn, wr_id))
+                .or_default()
+                .push((rec.t, (psn, npkts))),
+            TraceEvent::Scatter { psn, .. } => {
+                scatter.entry(psn).or_default().push((rec.t, ()));
+            }
+            TraceEvent::GatherAck { psn, quorum, .. } => {
+                gather.entry(psn).or_default().push((rec.t, quorum));
+            }
+            TraceEvent::AckRx { qpn, psn, .. } => ack_rx
+                .entry((Arc::clone(&rec.node), qpn, psn))
+                .or_default()
+                .push((rec.t, ())),
+            _ => {}
+        }
+    }
+    for list in wire_tx.values_mut() {
+        list.sort_by_key(|&(t, _)| t);
+    }
+    for list in scatter.values_mut() {
+        list.sort_by_key(|&(t, _)| t);
+    }
+    for list in gather.values_mut() {
+        list.sort_by_key(|&(t, _)| t);
+    }
+    for list in ack_rx.values_mut() {
+        list.sort_by_key(|&(t, _)| t);
+    }
+
+    let mut spans = Vec::with_capacity(instances.len());
+    for ((view, seq), p) in instances {
+        let mut span = InstanceSpan {
+            view,
+            seq,
+            node: Arc::clone(&p.node),
+            propose: p.propose,
+            wire_tx: None,
+            scatter: None,
+            quorum: None,
+            ack_rx: None,
+            decide: p.decide,
+            gather_acks: 0,
+        };
+        'chain: {
+            let Some((bound_t, qpn, wr_id)) = p.bound else {
+                break 'chain;
+            };
+            let Some((tx_t, (first_psn, npkts))) = wire_tx
+                .get(&(Arc::clone(&p.node), qpn, wr_id))
+                .and_then(|l| first_at_or_after(l, bound_t))
+            else {
+                break 'chain;
+            };
+            span.wire_tx = Some(tx_t);
+            let last_psn = (first_psn + npkts.saturating_sub(1)) & PSN_MASK;
+            let Some((sc_t, ())) = scatter
+                .get(&last_psn)
+                .and_then(|l| first_at_or_after(l, tx_t))
+            else {
+                break 'chain;
+            };
+            span.scatter = Some(sc_t);
+            if let Some(acks) = gather.get(&last_psn) {
+                span.gather_acks = acks
+                    .iter()
+                    .filter(|&&(t, _)| t >= sc_t && p.decide.is_none_or(|d| t <= d))
+                    .count() as u64;
+                let Some((qu_t, _)) = acks
+                    .iter()
+                    .copied()
+                    .find(|&(t, quorum)| quorum && t >= sc_t)
+                else {
+                    break 'chain;
+                };
+                span.quorum = Some(qu_t);
+                let Some((rx_t, ())) = ack_rx
+                    .get(&(Arc::clone(&p.node), qpn, last_psn))
+                    .and_then(|l| first_at_or_after(l, qu_t))
+                else {
+                    break 'chain;
+                };
+                span.ack_rx = Some(rx_t);
+            }
+        }
+        spans.push(span);
+    }
+    spans
+}
+
+// ----------------------------------------------------------------------
+// Stage breakdown
+// ----------------------------------------------------------------------
+
+/// Latency distribution of one stage across many spans.
+#[derive(Debug, Clone)]
+pub struct StageLatency {
+    /// Stage name (one of [`STAGE_NAMES`]).
+    pub name: &'static str,
+    /// The stage's latency samples.
+    pub lat: LatencyStats,
+}
+
+/// Per-stage latency distributions over a set of spans, plus the
+/// end-to-end distribution of the same (complete) spans.
+#[derive(Debug, Clone)]
+pub struct StageBreakdown {
+    /// One entry per stage, in chain order.
+    pub stages: Vec<StageLatency>,
+    /// End-to-end latency of the complete spans.
+    pub end_to_end: LatencyStats,
+    /// Number of spans with a full chain.
+    pub complete: usize,
+    /// Total spans considered (including partial ones).
+    pub total: usize,
+}
+
+impl StageBreakdown {
+    /// `true` when, for every complete span, the five stage durations
+    /// sum exactly to the end-to-end latency — which makes the *mean*
+    /// stage latencies sum to the mean end-to-end latency too. Always
+    /// holds by construction; exposed so tests and reports can assert it.
+    pub fn reconciles(&self) -> bool {
+        if self.complete == 0 {
+            return true;
+        }
+        let stage_mean_sum: u64 = self.stages.iter().map(|s| s.lat.mean().as_nanos()).sum();
+        let e2e = self.end_to_end.mean().as_nanos();
+        // Each mean rounds down independently: the sums may differ by at
+        // most one nanosecond per stage.
+        stage_mean_sum.abs_diff(e2e) <= self.stages.len() as u64
+    }
+}
+
+/// Builds the per-stage breakdown of `spans`. Partial spans count
+/// toward `total` but contribute no samples.
+pub fn breakdown(spans: &[InstanceSpan]) -> StageBreakdown {
+    let mut stages: Vec<StageLatency> = STAGE_NAMES
+        .iter()
+        .map(|&name| StageLatency {
+            name,
+            lat: LatencyStats::new(),
+        })
+        .collect();
+    let mut end_to_end = LatencyStats::new();
+    let mut complete = 0;
+    for span in spans {
+        let Some(durs) = span.stage_durations() else {
+            continue;
+        };
+        complete += 1;
+        for (stage, d) in stages.iter_mut().zip(durs) {
+            stage.lat.record(d);
+        }
+        end_to_end.record(span.end_to_end().expect("complete span decided"));
+    }
+    StageBreakdown {
+        stages,
+        end_to_end,
+        complete,
+        total: spans.len(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Chrome/Perfetto trace_events export
+// ----------------------------------------------------------------------
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Timestamps in `trace_events` are microseconds; emit them with
+/// nanosecond precision as fractional microseconds.
+fn push_ts(out: &mut String, t: SimTime) {
+    let ns = t.as_nanos();
+    let _ = std::fmt::Write::write_fmt(out, format_args!("{}.{:03}", ns / 1000, ns % 1000));
+}
+
+/// Exports `records` as Chrome/Perfetto `trace_events` JSON
+/// (`chrome://tracing` / [ui.perfetto.dev] both load it).
+///
+/// Layout: process 1 carries one thread per node label with every raw
+/// record as an *instant* event; process 2 carries one thread per
+/// pipeline stage with the assembled spans' stage slices as *complete*
+/// events, named `v<view>/<seq>`.
+///
+/// [ui.perfetto.dev]: https://ui.perfetto.dev
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut nodes: Vec<&str> = records.iter().map(|r| &*r.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let tid_of = |node: &str| -> usize { nodes.binary_search(&node).expect("node indexed") + 1 };
+
+    let mut out = String::with_capacity(records.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if *first {
+            *first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+
+    // Process/thread naming metadata.
+    for (pid, pname) in [(1, "nodes"), (2, "consensus stages")] {
+        sep(&mut out, &mut first);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{pname}\"}}}}"
+            ),
+        );
+    }
+    for node in &nodes {
+        sep(&mut out, &mut first);
+        let mut name = String::new();
+        escape_json(node, &mut name);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}}}",
+                tid_of(node)
+            ),
+        );
+    }
+    for (i, stage) in STAGE_NAMES.iter().enumerate() {
+        sep(&mut out, &mut first);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "{{\"ph\":\"M\",\"pid\":2,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{stage}\"}}}}",
+                i + 1
+            ),
+        );
+    }
+
+    // Raw records as instant events.
+    for rec in records {
+        sep(&mut out, &mut first);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"s\":\"t\",\"name\":\"{}\",\"ts\":",
+                tid_of(&rec.node),
+                rec.event.kind()
+            ),
+        );
+        push_ts(&mut out, rec.t);
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in rec.event.fields().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\"{k}\":{v}"));
+        }
+        out.push_str("}}");
+    }
+
+    // Assembled stage slices as complete events.
+    for span in assemble_spans(records) {
+        let Some(durs) = span.stage_durations() else {
+            continue;
+        };
+        let mut start = span.propose;
+        for (i, d) in durs.into_iter().enumerate() {
+            sep(&mut out, &mut first);
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"ph\":\"X\",\"pid\":2,\"tid\":{},\"name\":\"v{}/{}\",\"ts\":",
+                    i + 1,
+                    span.view,
+                    span.seq
+                ),
+            );
+            push_ts(&mut out, start);
+            out.push_str(",\"dur\":");
+            let ns = d.as_nanos();
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!("{}.{:03}", ns / 1000, ns % 1000),
+            );
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    ",\"args\":{{\"view\":{},\"seq\":{},\"stage\":\"{}\"}}}}",
+                    span.view, span.seq, STAGE_NAMES[i]
+                ),
+            );
+            start += d;
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+// ----------------------------------------------------------------------
+// Minimal JSON parser (round-trip validation of the export; the
+// workspace deliberately has no serde dependency)
+// ----------------------------------------------------------------------
+
+/// A minimal JSON reader, sufficient to validate [`chrome_trace_json`]
+/// output (and other hand-rolled exports) without a serde dependency.
+pub mod json {
+    /// A parsed JSON value. Numbers are kept as `f64`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Looks a key up in an object.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The array's elements, when this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The string's contents, when this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, when this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn err(&self, msg: &str) -> String {
+            format!("json parse error at byte {}: {msg}", self.pos)
+        }
+
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn eat(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected {:?}", b as char)))
+            }
+        }
+
+        fn eat_lit(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(self.err(&format!("expected {lit}")))
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut s = String::new();
+            loop {
+                let Some(b) = self.peek() else {
+                    return Err(self.err("unterminated string"));
+                };
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(s),
+                    b'\\' => {
+                        let Some(esc) = self.peek() else {
+                            return Err(self.err("unterminated escape"));
+                        };
+                        self.pos += 1;
+                        match esc {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'b' => s.push('\u{8}'),
+                            b'f' => s.push('\u{c}'),
+                            b'n' => s.push('\n'),
+                            b'r' => s.push('\r'),
+                            b't' => s.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| self.err("bad \\u escape"))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                                self.pos += 4;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            _ => return Err(self.err("unknown escape")),
+                        }
+                    }
+                    b if b < 0x80 => s.push(b as char),
+                    _ => {
+                        // Re-consume the full UTF-8 character. Validate
+                        // at most 4 bytes (one code point), never the
+                        // whole tail — that would make string parsing
+                        // quadratic in the document size.
+                        self.pos -= 1;
+                        let end = (self.pos + 4).min(self.bytes.len());
+                        let window = &self.bytes[self.pos..end];
+                        let prefix = match std::str::from_utf8(window) {
+                            Ok(w) => w,
+                            // The window may truncate a *following*
+                            // character; the valid prefix still holds
+                            // the one starting at `pos` (if any).
+                            Err(e) => std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("valid_up_to prefix is valid"),
+                        };
+                        let c = prefix
+                            .chars()
+                            .next()
+                            .ok_or_else(|| self.err("invalid utf-8"))?;
+                        s.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid number"))?;
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| self.err("invalid number"))
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => {
+                    self.pos += 1;
+                    let mut fields = Vec::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b'}') {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    loop {
+                        self.skip_ws();
+                        let key = self.string()?;
+                        self.skip_ws();
+                        self.eat(b':')?;
+                        let val = self.value()?;
+                        fields.push((key, val));
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => self.pos += 1,
+                            Some(b'}') => {
+                                self.pos += 1;
+                                return Ok(Value::Obj(fields));
+                            }
+                            _ => return Err(self.err("expected , or }")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    self.pos += 1;
+                    let mut items = Vec::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    loop {
+                        items.push(self.value()?);
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => self.pos += 1,
+                            Some(b']') => {
+                                self.pos += 1;
+                                return Ok(Value::Arr(items));
+                            }
+                            _ => return Err(self.err("expected , or ]")),
+                        }
+                    }
+                }
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.eat_lit("true", Value::Bool(true)),
+                Some(b'f') => self.eat_lit("false", Value::Bool(false)),
+                Some(b'n') => self.eat_lit("null", Value::Null),
+                Some(_) => self.number(),
+                None => Err(self.err("unexpected end of input")),
+            }
+        }
+    }
+
+    /// Parses one JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Reports the byte offset and nature of the first syntax error.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing garbage"));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_never_runs_the_constructor() {
+        let tracer = Tracer::disabled();
+        let mut ran = false;
+        tracer.emit(SimTime::ZERO, || {
+            ran = true;
+            TraceEvent::FellBack
+        });
+        assert!(!ran, "disabled tracer must not evaluate the event");
+        assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn enabled_tracer_collects_labeled_records() {
+        let handle = TraceHandle::new();
+        let t0 = handle.tracer("m0");
+        let t1 = t0.labeled("switch");
+        t0.emit(SimTime::from_nanos(10), || TraceEvent::Propose {
+            view: 1,
+            seq: 7,
+        });
+        t1.emit(SimTime::from_nanos(20), || TraceEvent::Scatter {
+            psn: 3,
+            dist: 0,
+        });
+        let records = handle.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(&*records[0].node, "m0");
+        assert_eq!(&*records[1].node, "switch");
+        assert_eq!(records[1].t, SimTime::from_nanos(20));
+        handle.clear();
+        assert!(handle.is_empty());
+    }
+
+    /// Builds one synthetic instance's full record chain.
+    fn chain(view: u64, seq: u64, base_ns: u64, psn: u64) -> Vec<TraceRecord> {
+        let m: Arc<str> = Arc::from("m0");
+        let sw: Arc<str> = Arc::from("switch");
+        let at = |ns: u64, node: &Arc<str>, event: TraceEvent| TraceRecord {
+            t: SimTime::from_nanos(ns),
+            node: Arc::clone(node),
+            event,
+        };
+        vec![
+            at(base_ns, &m, TraceEvent::Propose { view, seq }),
+            at(
+                base_ns + 10,
+                &m,
+                TraceEvent::PostBound {
+                    view,
+                    seq,
+                    qpn: 16,
+                    wr_id: seq,
+                },
+            ),
+            at(
+                base_ns + 100,
+                &m,
+                TraceEvent::WireTx {
+                    qpn: 16,
+                    wr_id: seq,
+                    psn,
+                    npkts: 1,
+                },
+            ),
+            at(base_ns + 400, &sw, TraceEvent::Scatter { psn, dist: 0 }),
+            at(
+                base_ns + 900,
+                &sw,
+                TraceEvent::GatherAck {
+                    psn,
+                    endpoint: 1,
+                    distinct: 1,
+                    quorum: false,
+                },
+            ),
+            at(
+                base_ns + 1000,
+                &sw,
+                TraceEvent::GatherAck {
+                    psn,
+                    endpoint: 2,
+                    distinct: 2,
+                    quorum: true,
+                },
+            ),
+            at(
+                base_ns + 1400,
+                &m,
+                TraceEvent::AckRx {
+                    qpn: 16,
+                    psn,
+                    credits: 31,
+                },
+            ),
+            at(base_ns + 1600, &m, TraceEvent::Decide { view, seq }),
+        ]
+    }
+
+    #[test]
+    fn spans_assemble_and_stage_sums_telescope() {
+        let mut records = chain(1, 0, 1000, 100);
+        records.extend(chain(1, 1, 3000, 101));
+        let spans = assemble_spans(&records);
+        assert_eq!(spans.len(), 2);
+        for span in &spans {
+            assert!(
+                span.is_complete(),
+                "span {}/{} incomplete",
+                span.view,
+                span.seq
+            );
+            let durs = span.stage_durations().expect("complete");
+            let sum: u64 = durs.iter().map(|d| d.as_nanos()).sum();
+            assert_eq!(sum, span.end_to_end().expect("decided").as_nanos());
+            assert_eq!(span.gather_acks, 2);
+        }
+        assert_eq!(spans[0].end_to_end().expect("decided").as_nanos(), 1600);
+        let b = breakdown(&spans);
+        assert_eq!(b.complete, 2);
+        assert_eq!(b.total, 2);
+        assert!(b.reconciles());
+        assert_eq!(b.stages[0].lat.mean().as_nanos(), 100); // propose -> wire_tx
+    }
+
+    #[test]
+    fn partial_chain_yields_partial_span() {
+        let mut records = chain(1, 0, 1000, 100);
+        records.retain(|r| !matches!(r.event, TraceEvent::Scatter { .. }));
+        let spans = assemble_spans(&records);
+        assert_eq!(spans.len(), 1);
+        assert!(!spans[0].is_complete());
+        assert!(spans[0].wire_tx.is_some());
+        assert!(spans[0].scatter.is_none());
+        assert_eq!(spans[0].decide, Some(SimTime::from_nanos(2600)));
+        let b = breakdown(&spans);
+        assert_eq!((b.complete, b.total), (0, 1));
+        assert!(b.reconciles(), "vacuously true with no complete spans");
+    }
+
+    #[test]
+    fn multi_packet_message_matches_on_last_psn() {
+        let mut records = chain(2, 5, 500, 200);
+        // Turn the WireTx into a 3-packet message; the switch events in
+        // `chain` carry psn 202 now.
+        for r in &mut records {
+            match &mut r.event {
+                TraceEvent::WireTx { psn, npkts, .. } => {
+                    *psn = 200;
+                    *npkts = 3;
+                }
+                TraceEvent::Scatter { psn, .. }
+                | TraceEvent::GatherAck { psn, .. }
+                | TraceEvent::AckRx { psn, .. } => *psn = 202,
+                _ => {}
+            }
+        }
+        let spans = assemble_spans(&records);
+        assert!(spans[0].is_complete());
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_parser() {
+        let records = chain(1, 0, 1000, 100);
+        let text = chrome_trace_json(&records);
+        let doc = json::parse(&text).expect("export must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .expect("traceEvents array");
+        // 2 process names + 2 node threads + 5 stage threads + 8 instants
+        // + 5 stage slices.
+        assert_eq!(events.len(), 22);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(json::Value::as_str).expect("ph"))
+            .collect();
+        assert_eq!(phases.iter().filter(|&&p| p == "X").count(), 5);
+        assert_eq!(phases.iter().filter(|&&p| p == "i").count(), 8);
+        // Every complete event carries ts + dur in microseconds.
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(json::Value::as_str) == Some("X"))
+            .expect("one slice");
+        assert!(slice.get("ts").and_then(json::Value::as_f64).is_some());
+        assert!(slice.get("dur").and_then(json::Value::as_f64).expect("dur") > 0.0);
+    }
+
+    #[test]
+    fn json_parser_handles_the_usual_suspects() {
+        let v =
+            json::parse(r#"{"a": [1, 2.5, -3e2], "b": "q\"\nA", "c": true, "d": null, "e": {}}"#)
+                .expect("valid");
+        assert_eq!(
+            v.get("a").and_then(json::Value::as_arr).map(<[_]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("b").and_then(json::Value::as_str), Some("q\"\nA"));
+        assert_eq!(v.get("c"), Some(&json::Value::Bool(true)));
+        assert_eq!(v.get("d"), Some(&json::Value::Null));
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn json_parser_decodes_multibyte_strings_in_linear_time() {
+        // Multi-byte characters decode correctly, including when the
+        // 4-byte validation window truncates the *next* character.
+        let v = json::parse(r#"["µs → décidé", "漢字", "🦀x"]"#).expect("valid");
+        let arr = v.as_arr().expect("array");
+        assert_eq!(arr[0].as_str(), Some("µs → décidé"));
+        assert_eq!(arr[1].as_str(), Some("漢字"));
+        assert_eq!(arr[2].as_str(), Some("🦀x"));
+
+        // A document dominated by string bytes parses in time linear in
+        // its size (the quadratic re-validation would take minutes).
+        let big = format!(
+            "[{}\"end\"]",
+            "\"padding-padding-padding-é-padding\",".repeat(50_000)
+        );
+        let started = std::time::Instant::now();
+        let v = json::parse(&big).expect("valid");
+        assert_eq!(v.as_arr().map(<[_]>::len), Some(50_001));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "string parsing must stay linear in document size"
+        );
+    }
+}

@@ -21,7 +21,7 @@
 //! the multicast group, and answers the leader with a *virtual* region
 //! (VA 0, random key) after the reconfiguration delay.
 
-use netsim::{PortId, SimDuration};
+use netsim::{PortId, SimDuration, SimTime, TraceEvent, Tracer};
 use rdma::cm::{CmMessage, RegionAdvert, RejectReason};
 use rdma::{AethKind, MacAddr, Opcode, Psn, Qpn, RKey, RocePacket, CM_QPN};
 use std::collections::{BTreeMap, HashMap};
@@ -175,6 +175,30 @@ pub struct P4ceSwitchStats {
     pub groups_created: u64,
     /// Reconfigurations completed.
     pub reconfigs: u64,
+}
+
+impl P4ceSwitchStats {
+    /// Snapshots the counters into `reg` under `prefix` (e.g. `switch`):
+    /// `"{prefix}.scattered"`, `.acks.absorbed`, `.acks.forwarded`,
+    /// `.acks.stale`, `.acks.duplicate`, `.naks.forwarded`,
+    /// `.credit.stale_skips`, `.groups.created`, `.reconfigs`.
+    pub fn register_into(&self, reg: &mut netsim::MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.scattered"), self.scattered);
+        reg.set_counter(&format!("{prefix}.acks.absorbed"), self.acks_absorbed);
+        reg.set_counter(&format!("{prefix}.acks.forwarded"), self.acks_forwarded);
+        reg.set_counter(&format!("{prefix}.acks.stale"), self.stale_acks_dropped);
+        reg.set_counter(
+            &format!("{prefix}.acks.duplicate"),
+            self.duplicate_acks_dropped,
+        );
+        reg.set_counter(&format!("{prefix}.naks.forwarded"), self.naks_forwarded);
+        reg.set_counter(
+            &format!("{prefix}.credit.stale_skips"),
+            self.stale_credit_skips,
+        );
+        reg.set_counter(&format!("{prefix}.groups.created"), self.groups_created);
+        reg.set_counter(&format!("{prefix}.reconfigs"), self.reconfigs);
+    }
 }
 
 // Control-plane timer tokens.
@@ -538,8 +562,18 @@ impl P4ceProgram {
     }
 
     /// The gather decision for one ACK. Returns `true` if this packet must
-    /// be forwarded to the leader (rewritten in place).
-    fn gather(&mut self, pkt: &mut RocePacket, gid: u16, endpoint: u8, sw_ip: Ipv4Addr) -> bool {
+    /// be forwarded to the leader (rewritten in place). `now` and `tracer`
+    /// come from the pipeline metadata — the gather registers themselves
+    /// have no clock.
+    fn gather(
+        &mut self,
+        pkt: &mut RocePacket,
+        gid: u16,
+        endpoint: u8,
+        sw_ip: Ipv4Addr,
+        now: SimTime,
+        tracer: &Tracer,
+    ) -> bool {
         let Some(group) = self.groups.get_mut(&gid) else {
             return false;
         };
@@ -552,6 +586,9 @@ impl P4ceProgram {
                 // NAKs pass through immediately (§III-A).
                 Self::rewrite_ack_for_leader(pkt, group, endpoint, sw_ip);
                 self.stats.naks_forwarded += 1;
+                tracer.emit(now, || TraceEvent::NakForward {
+                    psn: u64::from(pkt.bth.psn.value()),
+                });
                 true
             }
             AethKind::Ack { credits } => {
@@ -584,6 +621,7 @@ impl P4ceProgram {
                 }
                 let now_seen = seen | bit;
                 group.num_recv.write(idx, now_seen);
+                let leader_psn = u64::from(group.leader_start_psn.advance(dist).value());
                 if now_seen.count_ones() == group.f {
                     let reported = match self.cfg.credit_mode {
                         CreditMode::Minimum => {
@@ -602,9 +640,28 @@ impl P4ceProgram {
                         msn: aeth.msn,
                     });
                     self.stats.acks_forwarded += 1;
+                    tracer.emit(now, || TraceEvent::GatherAck {
+                        psn: leader_psn,
+                        endpoint: u64::from(endpoint),
+                        distinct: u64::from(now_seen.count_ones()),
+                        quorum: true,
+                    });
+                    if matches!(self.cfg.credit_mode, CreditMode::Minimum) {
+                        tracer.emit(now, || TraceEvent::CreditClamp {
+                            psn: leader_psn,
+                            folded: u64::from(reported),
+                            carried: u64::from(credits),
+                        });
+                    }
                     true
                 } else {
                     self.stats.acks_absorbed += 1;
+                    tracer.emit(now, || TraceEvent::GatherAck {
+                        psn: leader_psn,
+                        endpoint: u64::from(endpoint),
+                        distinct: u64::from(now_seen.count_ones()),
+                        quorum: false,
+                    });
                     false
                 }
             }
@@ -616,7 +673,7 @@ impl SwitchProgram for P4ceProgram {
     fn ingress(
         &mut self,
         pkt: &mut RocePacket,
-        _meta: IngressMeta,
+        meta: IngressMeta,
         ops: &dyn PipelineOps,
     ) -> IngressVerdict {
         let sw_ip = ops.switch_ip();
@@ -652,6 +709,10 @@ impl SwitchProgram for P4ceProgram {
             group.num_recv_psn.write(dist as usize, dist);
             group.scatter_count = group.scatter_count.wrapping_add(1);
             self.stats.scattered += 1;
+            ops.tracer().emit(meta.now, || TraceEvent::Scatter {
+                psn: u64::from(pkt.bth.psn.value()),
+                dist: u64::from(dist),
+            });
             return IngressVerdict::Multicast(group.mcast);
         }
         if pkt.bth.opcode == Opcode::Acknowledge {
@@ -662,7 +723,7 @@ impl SwitchProgram for P4ceProgram {
                 AckDropStage::Ingress => {
                     // Final design: count (and usually drop) right here,
                     // in the ingress of the replica-facing port.
-                    if self.gather(pkt, gid, endpoint, sw_ip) {
+                    if self.gather(pkt, gid, endpoint, sw_ip, meta.now, ops.tracer()) {
                         let Some(group) = self.groups.get(&gid) else {
                             return IngressVerdict::Drop;
                         };
@@ -708,6 +769,10 @@ impl SwitchProgram for P4ceProgram {
             if !replica.established {
                 return false;
             }
+            ops.tracer().emit(meta.now, || TraceEvent::ScatterCopy {
+                psn: u64::from(pkt.bth.psn.value()),
+                rid: u64::from(meta.rid),
+            });
             // Addressing: the replica must see the switch as its peer.
             pkt.src_ip = sw_ip;
             pkt.src_mac = MacAddr::for_ip(sw_ip);
@@ -730,7 +795,7 @@ impl SwitchProgram for P4ceProgram {
         // egress.
         if pkt.bth.opcode == Opcode::Acknowledge && pkt.dst_ip == sw_ip {
             if let Some(&(gid, endpoint)) = self.aggr_table.lookup(&pkt.bth.dest_qp.masked()) {
-                return self.gather(pkt, gid, endpoint, sw_ip);
+                return self.gather(pkt, gid, endpoint, sw_ip, meta.now, ops.tracer());
             }
             return false;
         }
@@ -872,14 +937,14 @@ mod tests {
         // The same replica ACKing twice (a duplicating fabric) must not
         // complete the f = 2 quorum on its own.
         let mut a0 = ack_from(0, 0, 31);
-        assert!(!p.gather(&mut a0, 1, 0, SW_IP));
+        assert!(!p.gather(&mut a0, 1, 0, SW_IP, SimTime::ZERO, &Tracer::default()));
         let mut a0_dup = ack_from(0, 0, 31);
-        assert!(!p.gather(&mut a0_dup, 1, 0, SW_IP));
+        assert!(!p.gather(&mut a0_dup, 1, 0, SW_IP, SimTime::ZERO, &Tracer::default()));
         assert_eq!(p.stats.duplicate_acks_dropped, 1);
         assert_eq!(p.stats.acks_forwarded, 0);
         // A second, distinct replica completes it.
         let mut a1 = ack_from(1, 0, 31);
-        assert!(p.gather(&mut a1, 1, 1, SW_IP));
+        assert!(p.gather(&mut a1, 1, 1, SW_IP, SimTime::ZERO, &Tracer::default()));
         assert_eq!(p.stats.acks_forwarded, 1);
         assert_eq!(a1.dst_ip, LEADER_IP, "forwarded ACK rewritten to leader");
     }
@@ -894,12 +959,12 @@ mod tests {
         // A late ACK for the slot's previous occupant (dist 0) aliases to
         // the same slot but must not count for sequence `window`.
         let mut stale = ack_from(0, 0, 31);
-        assert!(!p.gather(&mut stale, 1, 0, SW_IP));
+        assert!(!p.gather(&mut stale, 1, 0, SW_IP, SimTime::ZERO, &Tracer::default()));
         assert_eq!(p.stats.stale_acks_dropped, 1);
         assert_eq!(p.stats.acks_forwarded, 0);
         // The slot still completes normally for its live occupant.
         let mut live = ack_from(1, window, 31);
-        assert!(p.gather(&mut live, 1, 1, SW_IP));
+        assert!(p.gather(&mut live, 1, 1, SW_IP, SimTime::ZERO, &Tracer::default()));
     }
 
     #[test]
@@ -915,7 +980,7 @@ mod tests {
         // (it might just be slow — §IV-C's whole point).
         scatter(&mut p, 0);
         let mut early = ack_from(0, 0, 20);
-        assert!(p.gather(&mut early, 1, 0, SW_IP));
+        assert!(p.gather(&mut early, 1, 0, SW_IP, SimTime::ZERO, &Tracer::default()));
         match early.aeth.expect("ack").kind {
             AethKind::Ack { credits } => assert_eq!(credits, 0, "dead weight still counted"),
             k => panic!("expected ack, got {k:?}"),
@@ -927,7 +992,7 @@ mod tests {
         }
         let live_dist = stale_after + 1;
         let mut late = ack_from(0, live_dist, 20);
-        assert!(p.gather(&mut late, 1, 0, SW_IP));
+        assert!(p.gather(&mut late, 1, 0, SW_IP, SimTime::ZERO, &Tracer::default()));
         match late.aeth.expect("ack").kind {
             AethKind::Ack { credits } => {
                 assert_eq!(credits, 20, "silent replica excluded from the minimum")
@@ -946,7 +1011,10 @@ mod tests {
             kind: AethKind::Nak(rdma::NakCode::PsnSequenceError),
             msn: 0,
         });
-        assert!(p.gather(&mut nak, 1, 0, SW_IP), "NAKs always pass through");
+        assert!(
+            p.gather(&mut nak, 1, 0, SW_IP, SimTime::ZERO, &Tracer::default()),
+            "NAKs always pass through"
+        );
         assert_eq!(p.stats.naks_forwarded, 1);
     }
 

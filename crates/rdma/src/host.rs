@@ -14,7 +14,10 @@
 //!   CPU is the small-value bottleneck the paper measures.
 
 use bytes::Bytes;
-use netsim::{Context, Cpu, Frame, Node, PortId, SimDuration, SimTime, TimerToken};
+use netsim::{
+    Context, Cpu, Frame, MetricsRegistry, Node, PortId, RetransmitKind, SimDuration, SimTime,
+    TimerToken, TraceEvent, Tracer,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
@@ -62,6 +65,10 @@ pub struct HostConfig {
     pub retry_limit: u32,
     /// Seed for key/PSN generation (distinct per host).
     pub seed: u64,
+    /// Trace sink for NIC-level events (WQE posts, wire transmissions,
+    /// ACK/NAK traffic, retransmissions). Disabled by default; the only
+    /// cost then is one `Option` branch per would-be event.
+    pub tracer: Tracer,
 }
 
 impl HostConfig {
@@ -81,6 +88,7 @@ impl HostConfig {
             retransmit_timeout: SimDuration::from_micros(131),
             retry_limit: 7,
             seed: u64::from(u32::from_be_bytes(o)),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -198,7 +206,7 @@ enum Delivery {
     },
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 /// Counters exposed for tests and experiment reporting.
 pub struct HostStats {
     /// Request packets transmitted (writes, reads, CM).
@@ -222,6 +230,32 @@ pub struct HostStats {
     /// Request packets dropped because the receive buffer was full (the
     /// damage ignoring credit counts causes).
     pub rx_overflow_drops: u64,
+}
+
+impl HostStats {
+    /// Snapshots every counter into `reg` under `prefix` with the unified
+    /// dotted naming scheme (`{prefix}.tx.packets`,
+    /// `{prefix}.retransmit.timeout`, …). The two transport recovery
+    /// paths — timer-driven go-back-N and NAK-driven go-back-N — land in
+    /// *distinct* metrics so reports can tell a lost-tail from a
+    /// mid-stream gap.
+    pub fn register_into(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.tx.packets"), self.packets_sent);
+        reg.set_counter(&format!("{prefix}.rx.packets"), self.packets_received);
+        reg.set_counter(&format!("{prefix}.rx.parse_drops"), self.parse_drops);
+        reg.set_counter(
+            &format!("{prefix}.rx.overflow_drops"),
+            self.rx_overflow_drops,
+        );
+        reg.set_counter(&format!("{prefix}.ack.sent"), self.acks_sent);
+        reg.set_counter(&format!("{prefix}.nak.sent"), self.naks_sent);
+        reg.set_counter(&format!("{prefix}.retransmit.packets"), self.retransmits);
+        reg.set_counter(
+            &format!("{prefix}.retransmit.timeout"),
+            self.timeout_retransmits,
+        );
+        reg.set_counter(&format!("{prefix}.retransmit.nak"), self.nak_retransmits);
+    }
 }
 
 /// The non-application state of a host (NIC, CPU, memory, queue pairs).
@@ -432,6 +466,14 @@ impl HostCore {
             let qpn = qpns[(start + i) % qpns.len()];
             let qp = self.qps.get_mut(&qpn).expect("qpn from keys");
             if let Some(packets) = qp.next_message(now) {
+                if let Some((wr_id, first_psn, _)) = qp.newest_inflight() {
+                    self.cfg.tracer.emit(now, || TraceEvent::WireTx {
+                        qpn: u64::from(qpn),
+                        wr_id: wr_id.0,
+                        psn: u64::from(first_psn.value()),
+                        npkts: packets.len() as u64,
+                    });
+                }
                 self.tx_last_served = qpn;
                 let port = self.qp_port(Qpn(qpn));
                 let frames: Vec<Frame> = packets
@@ -533,6 +575,10 @@ impl HostCore {
                     Bytes::new(),
                 );
                 self.stats.acks_sent += 1;
+                self.cfg.tracer.emit(ctx.now, || TraceEvent::AckTx {
+                    qpn: u64::from(qpn.masked()),
+                    psn: u64::from(pkt.bth.psn.value()),
+                });
                 let port = self.qp_port(qpn);
                 self.tx_fifo.push_back((port, frame));
                 self.kick_tx(ctx);
@@ -616,6 +662,10 @@ impl HostCore {
                         Bytes::new(),
                     );
                     self.stats.acks_sent += 1;
+                    self.cfg.tracer.emit(ctx.now, || TraceEvent::AckTx {
+                        qpn: u64::from(qpn.masked()),
+                        psn: u64::from(pkt.bth.psn.value()),
+                    });
                     let port = self.qp_port(qpn);
                     self.tx_fifo.push_back((port, frame));
                     self.kick_tx(ctx);
@@ -647,6 +697,10 @@ impl HostCore {
                     data,
                 );
                 self.stats.acks_sent += 1;
+                self.cfg.tracer.emit(ctx.now, || TraceEvent::AckTx {
+                    qpn: u64::from(qpn.masked()),
+                    psn: u64::from(pkt.bth.psn.value()),
+                });
                 let port = self.qp_port(qpn);
                 self.tx_fifo.push_back((port, frame));
                 self.kick_tx(ctx);
@@ -668,6 +722,10 @@ impl HostCore {
             Bytes::new(),
         );
         self.stats.naks_sent += 1;
+        self.cfg.tracer.emit(ctx.now, || TraceEvent::NakTx {
+            qpn: u64::from(qpn.masked()),
+            psn: u64::from(pkt.bth.psn.value()),
+        });
         let port = self.qp_port(qpn);
         self.tx_fifo.push_back((port, frame));
         self.kick_tx(ctx);
@@ -678,6 +736,11 @@ impl HostCore {
         let aeth = pkt.aeth.expect("ACK carries AETH");
         match aeth.kind {
             AethKind::Ack { credits } => {
+                self.cfg.tracer.emit(ctx.now, || TraceEvent::AckRx {
+                    qpn: u64::from(qpn.masked()),
+                    psn: u64::from(pkt.bth.psn.value()),
+                    credits: u64::from(credits),
+                });
                 let qp = self.qps.get_mut(&qpn.masked()).expect("checked");
                 let done = qp.handle_ack(pkt.bth.psn, credits);
                 if done.is_empty() {
@@ -697,6 +760,10 @@ impl HostCore {
                 self.kick_tx(ctx); // the window may have reopened
             }
             AethKind::Nak(code) => {
+                self.cfg.tracer.emit(ctx.now, || TraceEvent::NakRx {
+                    qpn: u64::from(qpn.masked()),
+                    psn: u64::from(pkt.bth.psn.value()),
+                });
                 // Surface the NAK to the application (P4CE's fallback
                 // trigger) in parallel with transport-level recovery.
                 let cost = self.cfg.reap_cost;
@@ -706,6 +773,11 @@ impl HostCore {
                     RecoveryAction::None => {}
                     RecoveryAction::Retransmit(pkts) => {
                         self.stats.nak_retransmits += pkts.len() as u64;
+                        self.cfg.tracer.emit(ctx.now, || TraceEvent::Retransmit {
+                            qpn: u64::from(qpn.masked()),
+                            kind: RetransmitKind::Nak,
+                            packets: pkts.len() as u64,
+                        });
                         self.retransmit(qpn, pkts);
                         self.kick_tx(ctx);
                     }
@@ -869,6 +941,14 @@ impl HostOps<'_, '_> {
     /// This host's configuration.
     pub fn config(&self) -> &HostConfig {
         &self.core.cfg
+    }
+
+    /// The host's trace sink. Applications emit their protocol-level
+    /// events (propose, decide, view change) through this so they share
+    /// the NIC's node label — span assembly correlates the two by
+    /// `(node, qpn, wr_id)`.
+    pub fn tracer(&self) -> &Tracer {
+        &self.core.cfg.tracer
     }
 
     /// Counters.
@@ -1114,6 +1194,13 @@ impl HostOps<'_, '_> {
     fn post(&mut self, qpn: Qpn, wr: WorkRequest) {
         let done = self.core.cpu.run(self.ctx.now, self.core.cfg.post_cost);
         let wr_id = wr.wr_id();
+        self.core
+            .cfg
+            .tracer
+            .emit(self.ctx.now, || TraceEvent::WqePost {
+                qpn: u64::from(qpn.masked()),
+                wr_id: wr_id.0,
+            });
         match self.core.qps.get_mut(&qpn.masked()) {
             Some(qp) => {
                 if qp.post(wr).is_err() {
@@ -1347,6 +1434,14 @@ impl<A: RdmaApp> Node for Host<A> {
                         RecoveryAction::None => {}
                         RecoveryAction::Retransmit(pkts) => {
                             self.core.stats.timeout_retransmits += pkts.len() as u64;
+                            self.core
+                                .cfg
+                                .tracer
+                                .emit(ctx.now, || TraceEvent::Retransmit {
+                                    qpn: u64::from(qpn),
+                                    kind: RetransmitKind::Timeout,
+                                    packets: pkts.len() as u64,
+                                });
                             self.core.retransmit(Qpn(qpn), pkts);
                             self.core.kick_tx(ctx);
                         }

@@ -193,6 +193,16 @@ impl QueuePair {
         self.inflight.len()
     }
 
+    /// The most recently transmitted in-flight message as
+    /// `(wr_id, first_psn, last_psn)` — what [`Self::next_message`] just
+    /// pushed. Tracing uses this to correlate a work request with the PSN
+    /// range it occupies on the wire.
+    pub fn newest_inflight(&self) -> Option<(WrId, Psn, Psn)> {
+        self.inflight
+            .back()
+            .map(|m| (m.wr_id, m.first_psn, m.last_psn))
+    }
+
     /// Moves the QP into the connecting state (initiator half).
     pub fn begin_connect(&mut self) {
         debug_assert_eq!(self.state, QpState::Init);

@@ -1,7 +1,7 @@
 //! The switch-program interface: what a P4 program looks like to this
 //! pipeline model.
 
-use netsim::PortId;
+use netsim::{PortId, SimTime, Tracer};
 use rdma::RocePacket;
 use std::net::Ipv4Addr;
 
@@ -12,6 +12,9 @@ use crate::mcast::MulticastGroupId;
 pub struct IngressMeta {
     /// The port the packet arrived on.
     pub ingress_port: PortId,
+    /// When this packet entered the match-action stages (intrinsic
+    /// metadata on the ASIC; programs only read it for tracing).
+    pub now: SimTime,
 }
 
 /// Metadata available to the egress stage.
@@ -21,6 +24,8 @@ pub struct EgressMeta {
     pub egress_port: PortId,
     /// The replication id stamped by the multicast engine (0 for unicast).
     pub rid: u16,
+    /// When this copy entered the egress stage.
+    pub now: SimTime,
 }
 
 /// The ingress stage's routing decision. Replication decisions can only be
@@ -44,6 +49,10 @@ pub trait PipelineOps {
     fn route(&self, ip: Ipv4Addr) -> Option<PortId>;
     /// This switch's own address.
     fn switch_ip(&self) -> Ipv4Addr;
+    /// The switch's trace sink (disabled by default; see
+    /// [`crate::SwitchConfig`]). Programs emit scatter/gather events
+    /// through this.
+    fn tracer(&self) -> &Tracer;
 }
 
 /// Facilities available to the control plane (a conventional CPU running

@@ -41,6 +41,9 @@ pub struct SwitchConfig {
     /// the handler (slow path; §IV-A notes this is fine because
     /// connections are rare).
     pub cpu_punt_latency: SimDuration,
+    /// Trace sink the loaded program emits data-plane events through
+    /// (via [`PipelineOps::tracer`]). Disabled by default.
+    pub tracer: netsim::Tracer,
 }
 
 impl SwitchConfig {
@@ -53,6 +56,7 @@ impl SwitchConfig {
             parser_queue_limit: 512,
             pipeline_latency: SimDuration::from_nanos(400),
             cpu_punt_latency: SimDuration::from_micros(20),
+            tracer: netsim::Tracer::disabled(),
         }
     }
 }
@@ -121,6 +125,9 @@ impl PipelineOps for Shared {
     }
     fn switch_ip(&self) -> Ipv4Addr {
         self.cfg.ip
+    }
+    fn tracer(&self) -> &netsim::Tracer {
+        &self.cfg.tracer
     }
 }
 
@@ -240,7 +247,10 @@ impl<P: SwitchProgram> Switch<P> {
             }
         };
         let mut pkt = template.packet().clone();
-        let meta = IngressMeta { ingress_port: port };
+        let meta = IngressMeta {
+            ingress_port: port,
+            now: ctx.now,
+        };
         let verdict = self.program.ingress(&mut pkt, meta, &self.shared);
         match verdict {
             IngressVerdict::Drop => {
@@ -336,6 +346,7 @@ impl<P: SwitchProgram> Node for Switch<P> {
                 let meta = EgressMeta {
                     egress_port: port,
                     rid,
+                    now: ctx.now,
                 };
                 if self.program.egress(&mut lane.pkt, meta, &self.shared) {
                     self.shared.stats.forwarded += 1;
