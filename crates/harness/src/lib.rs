@@ -35,4 +35,7 @@ pub use runner::{
     run_point, run_point_metered, run_points, run_points_parallel, PointConfig, PointOutcome,
     System,
 };
-pub use tracing::{run_point_traced, stage_rows, stage_table, write_chrome_trace, TracedPoint};
+pub use tracing::{
+    run_point_traced, run_point_traced_with, stage_rows, stage_table, write_chrome_trace,
+    TracedPoint,
+};

@@ -75,10 +75,13 @@ impl PointConfig {
 
 /// What one point produced.
 ///
-/// Derives `PartialEq` so sequential and parallel sweeps can be checked
-/// for *identical* results: every field, including `events_processed`, is
-/// a pure function of the [`PointConfig`] in this discrete-event model.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// `PartialEq` is implemented manually so sequential and parallel
+/// sweeps can be checked for *identical* results: every measured field,
+/// including `events_processed`, is a pure function of the
+/// [`PointConfig`] in this discrete-event model. Only `threads_used` —
+/// provenance about how the sweep ran, not an outcome of the model — is
+/// excluded from the comparison.
+#[derive(Debug, Clone, Copy)]
 pub struct PointOutcome {
     /// Consensus operations decided inside the window.
     pub decided: u64,
@@ -98,6 +101,23 @@ pub struct PointOutcome {
     /// Total simulator events processed over the whole run (setup +
     /// warm-up + window) — a fingerprint of the virtual-time trajectory.
     pub events_processed: u64,
+    /// OS threads the sweep that produced this outcome ran on (1 for
+    /// [`run_point`] / [`run_points`], the effective worker count for
+    /// [`run_points_parallel`]). Excluded from `PartialEq`.
+    pub threads_used: usize,
+}
+
+impl PartialEq for PointOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.decided == other.decided
+            && self.ops_per_sec == other.ops_per_sec
+            && self.goodput_bytes_per_sec == other.goodput_bytes_per_sec
+            && self.mean_latency_us == other.mean_latency_us
+            && self.p50_latency_us == other.p50_latency_us
+            && self.p99_latency_us == other.p99_latency_us
+            && self.accelerated == other.accelerated
+            && self.events_processed == other.events_processed
+    }
 }
 
 fn sanitize(workload: WorkloadSpec) -> WorkloadSpec {
@@ -180,6 +200,7 @@ fn run_mu(cfg: &PointConfig, metrics: Option<&mut MetricsRegistry>) -> PointOutc
         p99_latency_us: stats.latency.percentile(99.0).as_micros_f64(),
         accelerated: false,
         events_processed,
+        threads_used: 1,
     }
 }
 
@@ -232,6 +253,7 @@ fn run_p4ce(cfg: &PointConfig, metrics: Option<&mut MetricsRegistry>) -> PointOu
         p99_latency_us: stats.latency.percentile(99.0).as_micros_f64(),
         accelerated,
         events_processed,
+        threads_used: 1,
     }
 }
 
@@ -260,10 +282,20 @@ pub fn run_points_parallel(cfgs: &[PointConfig], threads: usize) -> Vec<PointOut
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
+    // On a single-core box the spawn/synchronization cost is a pure
+    // loss (the workers just serialize on the one core), so fall back
+    // to the sequential runner on the calling thread. Same for a
+    // sweep that fits one worker anyway.
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = threads.min(cfgs.len().max(1));
+    if hw == 1 || workers == 1 {
+        return run_points(cfgs);
+    }
+
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, PointOutcome)>> = Mutex::new(Vec::with_capacity(cfgs.len()));
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(cfgs.len().max(1)) {
+        for _ in 0..workers {
             scope.spawn(|| {
                 let mut local = Vec::new();
                 loop {
@@ -278,5 +310,11 @@ pub fn run_points_parallel(cfgs: &[PointConfig], threads: usize) -> Vec<PointOut
     let mut indexed = results.into_inner().expect("no poisoned workers");
     indexed.sort_by_key(|&(i, _)| i);
     assert_eq!(indexed.len(), cfgs.len(), "every point ran exactly once");
-    indexed.into_iter().map(|(_, o)| o).collect()
+    indexed
+        .into_iter()
+        .map(|(_, o)| PointOutcome {
+            threads_used: workers,
+            ..o
+        })
+        .collect()
 }

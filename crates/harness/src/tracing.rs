@@ -52,10 +52,19 @@ impl TracedPoint {
 /// stage breakdown. The outcome equals [`crate::run_point`] on the same
 /// config — asserted by the `trace_smoke` integration test.
 pub fn run_point_traced(cfg: &PointConfig) -> TracedPoint {
-    let handle = TraceHandle::new();
+    run_point_traced_with(cfg, TraceHandle::new())
+}
+
+/// [`run_point_traced`] with a caller-supplied [`TraceHandle`] — e.g. a
+/// [`TraceHandle::bounded`] ring for long runs where only the tail of
+/// the record stream matters. Records lost to the bounded ring's
+/// oldest-drop wraparound surface as the `trace.dropped_records`
+/// counter in the returned metrics.
+pub fn run_point_traced_with(cfg: &PointConfig, handle: TraceHandle) -> TracedPoint {
     let mut traced_cfg = cfg.clone();
     traced_cfg.tracer = handle.tracer("harness");
-    let (outcome, metrics) = run_point_metered(&traced_cfg);
+    let (outcome, mut metrics) = run_point_metered(&traced_cfg);
+    metrics.set_counter("trace.dropped_records", handle.dropped());
     let records = handle.records();
     let spans = assemble_spans(&records);
     let stage_breakdown = breakdown(&spans);

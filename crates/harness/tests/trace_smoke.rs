@@ -60,6 +60,40 @@ fn tracing_does_not_perturb_experiment_points() {
 }
 
 #[test]
+fn bounded_ring_reports_drops_and_still_exports() {
+    let cfg = smoke_cfg();
+    let full = run_point_traced(&cfg);
+    let total = full.records.len();
+    assert!(total > 64, "smoke config must emit enough records to wrap");
+
+    let cap = 64;
+    let bounded = p4ce_harness::run_point_traced_with(&cfg, TraceHandle::bounded(cap));
+    assert_eq!(
+        bounded.outcome, full.outcome,
+        "ring bound must not perturb the run"
+    );
+    assert_eq!(bounded.records.len(), cap);
+    let dropped = bounded
+        .metrics
+        .counter("trace.dropped_records")
+        .expect("drop counter registered");
+    assert_eq!(dropped, (total - cap) as u64);
+    // The surviving tail equals the tail of the full stream, in order.
+    for (kept, orig) in bounded.records.iter().zip(&full.records[total - cap..]) {
+        assert_eq!(kept.t, orig.t);
+        assert_eq!(kept.event, orig.event);
+    }
+    // Truncated chains must still export and assemble gracefully.
+    let text = netsim::chrome_trace_json(&bounded.records);
+    json::parse(&text).expect("bounded trace must export as valid JSON");
+    let unbounded_drops = full
+        .metrics
+        .counter("trace.dropped_records")
+        .expect("counter present even when unbounded");
+    assert_eq!(unbounded_drops, 0);
+}
+
+#[test]
 fn tracing_does_not_perturb_chaos_runs() {
     let mut spec = ChaosSpec::seeded(11, 3);
     // Half the stock storm/drain: this test compares two runs of the

@@ -48,6 +48,7 @@
 
 mod cpu;
 mod fault;
+pub mod fxhash;
 mod link;
 pub mod metrics;
 mod node;
@@ -56,9 +57,11 @@ mod sim;
 mod stats;
 mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use cpu::Cpu;
 pub use fault::{FaultPlan, FaultStats, Partition};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use link::{Bandwidth, LinkSpec, LinkStats, WIRE_OVERHEAD_BYTES};
 pub use metrics::MetricsRegistry;
 pub use node::{Context, Frame, Node, NodeId, PortId, TimerToken};
@@ -71,3 +74,4 @@ pub use trace::{
     StageLatency, TraceBuffer, TraceEvent, TraceHandle, TraceRecord, TraceSink, Tracer,
     STAGE_NAMES,
 };
+pub use wheel::TimingWheel;

@@ -59,16 +59,44 @@ pub struct TimerToken(pub u64);
 /// copies made in transit — delivery, wire taps, multicast fan-out — share
 /// one allocation. Only fault-injected *corruption* materializes a private
 /// buffer (it must, to flip bits without affecting other holders).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Frame {
     /// Serialized frame contents.
     pub data: Bytes,
+    /// `true` when the checksums embedded in `data` were produced by the
+    /// serializer itself (see [`Frame::new_verified`]): receivers may then
+    /// skip re-deriving what the builder just computed. Cleared whenever a
+    /// frame is rebuilt from raw bytes — notably after fault-injected
+    /// corruption — so integrity checks still run where they can fail.
+    verified: bool,
 }
 
 impl Frame {
     /// Wraps serialized frame bytes.
     pub fn new(data: Bytes) -> Self {
-        Frame { data }
+        Frame {
+            data,
+            verified: false,
+        }
+    }
+
+    /// Wraps serialized frame bytes whose embedded checksums are correct
+    /// by construction (the serializer computed them over these exact
+    /// bytes). Parsers may use [`Frame::is_verified`] to skip redundant
+    /// re-verification; the frame's observable behaviour is unchanged
+    /// because re-deriving a checksum over unmodified bytes always
+    /// reproduces the stored value.
+    pub fn new_verified(data: Bytes) -> Self {
+        Frame {
+            data,
+            verified: true,
+        }
+    }
+
+    /// `true` when the embedded checksums are known-correct by
+    /// construction and need not be re-derived.
+    pub fn is_verified(&self) -> bool {
+        self.verified
     }
 
     /// Length of the frame payload (excluding layer-1 overhead).
@@ -82,17 +110,25 @@ impl Frame {
     }
 }
 
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        // The verification hint is a provenance note, not content: two
+        // frames with the same bytes are the same frame on the wire.
+        self.data == other.data
+    }
+}
+
+impl Eq for Frame {}
+
 impl From<Bytes> for Frame {
     fn from(data: Bytes) -> Self {
-        Frame { data }
+        Frame::new(data)
     }
 }
 
 impl From<Vec<u8>> for Frame {
     fn from(data: Vec<u8>) -> Self {
-        Frame {
-            data: Bytes::from(data),
-        }
+        Frame::new(Bytes::from(data))
     }
 }
 

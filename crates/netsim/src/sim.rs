@@ -2,14 +2,13 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use crate::fault::{FaultPlan, FaultStats};
 use crate::link::{DirLink, LinkSpec, LinkStats};
 use crate::node::{Action, Context, Frame, Node, NodeId, PortId, TimerToken};
 use crate::sched::{EventClass, EventInfo, Scheduler};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimingWheel;
 
 /// One scheduled occurrence.
 #[derive(Debug)]
@@ -25,50 +24,20 @@ enum EventKind {
     },
 }
 
-#[derive(Debug)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Event {
-    /// The scheduler-visible descriptor of this event.
-    fn info(&self) -> EventInfo {
-        let class = match &self.kind {
-            EventKind::FrameArrival { node, port, frame } => EventClass::Frame {
-                node: *node,
-                port: *port,
-                len: frame.len(),
-            },
-            EventKind::Timer { node, token } => EventClass::Timer {
-                node: *node,
-                token: *token,
-            },
-        };
-        EventInfo {
-            at: self.at,
-            seq: self.seq,
-            class,
-        }
-    }
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+/// The scheduler-visible descriptor of an event.
+fn event_info(at: SimTime, seq: u64, kind: &EventKind) -> EventInfo {
+    let class = match kind {
+        EventKind::FrameArrival { node, port, frame } => EventClass::Frame {
+            node: *node,
+            port: *port,
+            len: frame.len(),
+        },
+        EventKind::Timer { node, token } => EventClass::Timer {
+            node: *node,
+            token: *token,
+        },
+    };
+    EventInfo { at, seq, class }
 }
 
 /// Where a port leads: the directed link it transmits on and the peer that
@@ -116,7 +85,7 @@ struct PortPeer {
 /// ```
 pub struct Simulation {
     now: SimTime,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: TimingWheel<EventKind>,
     next_seq: u64,
     nodes: Vec<Box<dyn Node>>,
     node_down: Vec<bool>,
@@ -126,6 +95,9 @@ pub struct Simulation {
     // injection counters.
     faults: Vec<Option<FaultPlan>>,
     fault_stats: Vec<FaultStats>,
+    /// Number of `Some` entries in `faults`: lets the per-send fast path
+    /// skip fault bookkeeping entirely on clean topologies.
+    faults_installed: usize,
     rng: StdRng,
     started: bool,
     scratch: Vec<Action>,
@@ -156,7 +128,7 @@ impl Simulation {
     pub fn new(seed: u64) -> Self {
         Simulation {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: TimingWheel::new(),
             next_seq: 0,
             nodes: Vec::new(),
             node_down: Vec::new(),
@@ -164,6 +136,7 @@ impl Simulation {
             dir_links: Vec::new(),
             faults: Vec::new(),
             fault_stats: Vec::new(),
+            faults_installed: 0,
             rng: StdRng::seed_from_u64(seed),
             started: false,
             scratch: Vec::new(),
@@ -314,6 +287,9 @@ impl Simulation {
     /// on the wire are not revisited.
     pub fn set_fault_plan(&mut self, node: NodeId, port: PortId, plan: FaultPlan) {
         let peer = self.ports[node.index()][port.index()];
+        if self.faults[peer.dir_link].is_none() {
+            self.faults_installed += 1;
+        }
         self.faults[peer.dir_link] = Some(plan);
     }
 
@@ -321,7 +297,9 @@ impl Simulation {
     /// `port`. Injection counters are preserved.
     pub fn clear_fault_plan(&mut self, node: NodeId, port: PortId) {
         let peer = self.ports[node.index()][port.index()];
-        self.faults[peer.dir_link] = None;
+        if self.faults[peer.dir_link].take().is_some() {
+            self.faults_installed -= 1;
+        }
     }
 
     /// The fault plan currently installed on the directed link out of
@@ -374,38 +352,35 @@ impl Simulation {
 
     /// The currently co-enabled events: every pending event due at the
     /// earliest queued instant, sorted by insertion order. Empty when the
-    /// queue is drained. O(queue) — intended for model checkers, not hot
-    /// paths.
+    /// queue is drained. O(co-enabled set) — same-instant events share
+    /// one wheel slot.
     pub fn co_enabled(&self) -> Vec<EventInfo> {
-        let Some(Reverse(head)) = self.queue.peek() else {
-            return Vec::new();
-        };
-        let head_at = head.at;
-        let mut out: Vec<EventInfo> = self
-            .queue
-            .iter()
-            .filter(|Reverse(e)| e.at == head_at)
-            .map(|Reverse(e)| e.info())
-            .collect();
+        let mut out = Vec::new();
+        self.queue.for_each_at_head(|at, seq, kind| {
+            out.push(event_info(SimTime::from_nanos(at), seq, kind))
+        });
         out.sort_by_key(|e| e.seq);
         out
     }
 
     /// Pops the event to fire next, honouring the installed scheduler.
-    fn pop_next(&mut self) -> Option<Event> {
+    fn pop_next(&mut self) -> Option<(SimTime, u64, EventKind)> {
         if self.scheduler.is_none() {
-            return self.queue.pop().map(|Reverse(e)| e);
+            return self
+                .queue
+                .pop()
+                .map(|(at, seq, kind)| (SimTime::from_nanos(at), seq, kind));
         }
-        let Reverse(first) = self.queue.pop()?;
-        let head_at = first.at;
-        // Gather every co-enabled event (the heap yields them in
+        let first = self.queue.pop()?;
+        let head_at = first.0;
+        // Gather every co-enabled event (the wheel yields them in
         // ascending seq order for equal `at`).
         let mut batch = vec![first];
-        while let Some(Reverse(e)) = self.queue.peek() {
-            if e.at != head_at {
+        while let Some((at, _)) = self.queue.peek() {
+            if at != head_at {
                 break;
             }
-            let Some(Reverse(e)) = self.queue.pop() else {
+            let Some(e) = self.queue.pop() else {
                 break;
             };
             batch.push(e);
@@ -413,21 +388,30 @@ impl Simulation {
         let chosen = if batch.len() == 1 {
             0
         } else {
-            let infos: Vec<EventInfo> = batch.iter().map(Event::info).collect();
+            let infos: Vec<EventInfo> = batch
+                .iter()
+                .map(|(at, seq, kind)| event_info(SimTime::from_nanos(*at), *seq, kind))
+                .collect();
             let sched = self.scheduler.as_mut().expect("checked above");
             sched.choose(&infos).min(batch.len() - 1)
         };
-        let event = batch.swap_remove(chosen);
-        for e in batch {
-            self.queue.push(Reverse(e));
+        // Re-queue the unchosen events in ascending seq order so the
+        // wheel slot they return to stays insertion-ordered.
+        let mut picked = None;
+        for (i, (at, seq, kind)) in batch.into_iter().enumerate() {
+            if i == chosen {
+                picked = Some((SimTime::from_nanos(at), seq, kind));
+            } else {
+                self.queue.push(at, seq, kind);
+            }
         }
-        Some(event)
+        picked
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        self.queue.push(at.as_nanos(), seq, kind);
     }
 
     fn apply_actions(&mut self) {
@@ -436,9 +420,11 @@ impl Simulation {
         for action in actions.drain(..) {
             match action {
                 Action::Send { node, port, frame } => {
-                    for tap in &mut self.taps {
-                        if tap.node == node && tap.port == port {
-                            tap.frames.push((self.now, frame.clone()));
+                    if !self.taps.is_empty() {
+                        for tap in &mut self.taps {
+                            if tap.node == node && tap.port == port {
+                                tap.frames.push((self.now, frame.clone()));
+                            }
                         }
                     }
                     let Some(peer) = self.ports[node.index()].get(port.index()).copied() else {
@@ -452,7 +438,19 @@ impl Simulation {
                     // way, so installing a plan never shifts the timing
                     // of the frames that do survive.
                     let arrival = self.dir_links[peer.dir_link].transmit(self.now, frame.len());
-                    if let Some(plan) = self.faults[peer.dir_link].take() {
+                    // Fault-free topologies (the common case) skip the
+                    // plan lookup and stat bookkeeping outright.
+                    if self.faults_installed == 0 || self.faults[peer.dir_link].is_none() {
+                        self.push_event(
+                            arrival,
+                            EventKind::FrameArrival {
+                                node: peer.peer,
+                                port: peer.peer_port,
+                                frame,
+                            },
+                        );
+                    } else {
+                        let plan = self.faults[peer.dir_link].take().expect("checked above");
                         let deliveries = plan.apply(
                             self.now,
                             arrival,
@@ -471,15 +469,6 @@ impl Simulation {
                                 },
                             );
                         }
-                    } else {
-                        self.push_event(
-                            arrival,
-                            EventKind::FrameArrival {
-                                node: peer.peer,
-                                port: peer.peer_port,
-                                frame,
-                            },
-                        );
                     }
                 }
                 Action::Timer { node, at, token } => {
@@ -545,13 +534,13 @@ impl Simulation {
     /// empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
-        let Some(ev) = self.pop_next() else {
+        let Some((at, _seq, kind)) = self.pop_next() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
         self.events_processed += 1;
-        self.deliver(ev.kind);
+        self.deliver(kind);
         true
     }
 
@@ -560,16 +549,26 @@ impl Simulation {
     /// later-bounded).
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_if_needed();
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
-                break;
+        if self.scheduler.is_none() {
+            // Fast path: the wheel's conditional pop peeks and pops in
+            // one bitmap scan.
+            while let Some((at, _seq, kind)) = self.queue.pop_if(deadline.as_nanos()) {
+                self.now = SimTime::from_nanos(at);
+                self.events_processed += 1;
+                self.deliver(kind);
             }
-            let Some(ev) = self.pop_next() else {
-                break;
-            };
-            self.now = ev.at;
-            self.events_processed += 1;
-            self.deliver(ev.kind);
+        } else {
+            while let Some((head_at, _)) = self.queue.peek() {
+                if head_at > deadline.as_nanos() {
+                    break;
+                }
+                let Some((at, _seq, kind)) = self.pop_next() else {
+                    break;
+                };
+                self.now = at;
+                self.events_processed += 1;
+                self.deliver(kind);
+            }
         }
         self.now = self.now.max(deadline);
     }

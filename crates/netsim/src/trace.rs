@@ -4,9 +4,13 @@
 //! pipeline) holds a [`Tracer`] — a cheap clonable handle that is either
 //! *disabled* (the default: one `Option` branch per instrumentation
 //! point, the event constructor never runs) or *attached* to a shared
-//! [`TraceBuffer`]. Records carry the emitting node's label and the
-//! simulation timestamp, so one buffer collects a causally ordered,
-//! cross-layer log of a whole cluster run.
+//! ring of fixed-width 48-byte binary records. An enabled emit writes
+//! one `Copy` record — interned `u16` node label, kind byte, up to four
+//! `u64` fields — into the preallocated ring: no heap allocation and no
+//! string formatting on the hot path. Decoding back to [`TraceRecord`]s
+//! (labels, names, span assembly, JSON) happens only at export time, so
+//! one ring collects a causally ordered, cross-layer log of a whole
+//! cluster run at near-zero steady-state cost.
 //!
 //! The taxonomy follows one consensus instance through the stack:
 //!
@@ -300,6 +304,346 @@ pub struct TraceRecord {
     pub event: TraceEvent,
 }
 
+// ----------------------------------------------------------------------
+// Binary record encoding
+// ----------------------------------------------------------------------
+
+/// The fixed-width binary form one emitted event occupies in the ring:
+/// 40 bytes, `Copy`, no heap. The first word packs the timestamp (48
+/// bits — ~78 hours of simulated nanoseconds, far past any run), the
+/// interned node-label id, and the event kind; the rest is up to four
+/// `u64` fields. Stringification and span assembly happen only at
+/// export time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BinRecord {
+    /// `(t_ns << 16) | (node << 8) | kind`.
+    meta: u64,
+    fields: [u64; 4],
+}
+
+/// Timestamps the packed record can carry: 48 bits of nanoseconds.
+const T_NS_LIMIT: u64 = 1 << 48;
+
+impl BinRecord {
+    #[inline]
+    fn new(t_ns: u64, node: u8, kind: u8, fields: [u64; 4]) -> Self {
+        assert!(
+            t_ns < T_NS_LIMIT,
+            "trace timestamp {t_ns} ns exceeds the 48-bit record format"
+        );
+        BinRecord {
+            meta: (t_ns << 16) | (u64::from(node) << 8) | u64::from(kind),
+            fields,
+        }
+    }
+
+    #[inline]
+    fn t_ns(&self) -> u64 {
+        self.meta >> 16
+    }
+
+    #[inline]
+    fn node(&self) -> u8 {
+        (self.meta >> 8) as u8
+    }
+
+    #[inline]
+    fn kind(&self) -> u8 {
+        self.meta as u8
+    }
+}
+
+// Kind bytes, one per `TraceEvent` variant.
+const K_PROPOSE: u8 = 0;
+const K_POST_BOUND: u8 = 1;
+const K_DECIDE: u8 = 2;
+const K_APPLY: u8 = 3;
+const K_VIEW_CHANGE: u8 = 4;
+const K_FELL_BACK: u8 = 5;
+const K_GROUP_ESTABLISHED: u8 = 6;
+const K_WQE_POST: u8 = 7;
+const K_WIRE_TX: u8 = 8;
+const K_ACK_TX: u8 = 9;
+const K_ACK_RX: u8 = 10;
+const K_NAK_TX: u8 = 11;
+const K_NAK_RX: u8 = 12;
+const K_RETRANSMIT: u8 = 13;
+const K_SCATTER: u8 = 14;
+const K_SCATTER_COPY: u8 = 15;
+const K_GATHER_ACK: u8 = 16;
+const K_CREDIT_CLAMP: u8 = 17;
+const K_NAK_FORWARD: u8 = 18;
+
+impl TraceEvent {
+    /// Collapses the event to its binary form.
+    #[inline]
+    fn encode(&self) -> (u8, [u64; 4]) {
+        match *self {
+            TraceEvent::Propose { view, seq } => (K_PROPOSE, [view, seq, 0, 0]),
+            TraceEvent::PostBound {
+                view,
+                seq,
+                qpn,
+                wr_id,
+            } => (K_POST_BOUND, [view, seq, qpn, wr_id]),
+            TraceEvent::Decide { view, seq } => (K_DECIDE, [view, seq, 0, 0]),
+            TraceEvent::Apply { seq } => (K_APPLY, [seq, 0, 0, 0]),
+            TraceEvent::ViewChange { view, leader } => (K_VIEW_CHANGE, [view, leader, 0, 0]),
+            TraceEvent::FellBack => (K_FELL_BACK, [0; 4]),
+            TraceEvent::GroupEstablished => (K_GROUP_ESTABLISHED, [0; 4]),
+            TraceEvent::WqePost { qpn, wr_id } => (K_WQE_POST, [qpn, wr_id, 0, 0]),
+            TraceEvent::WireTx {
+                qpn,
+                wr_id,
+                psn,
+                npkts,
+            } => (K_WIRE_TX, [qpn, wr_id, psn, npkts]),
+            TraceEvent::AckTx { qpn, psn } => (K_ACK_TX, [qpn, psn, 0, 0]),
+            TraceEvent::AckRx { qpn, psn, credits } => (K_ACK_RX, [qpn, psn, credits, 0]),
+            TraceEvent::NakTx { qpn, psn } => (K_NAK_TX, [qpn, psn, 0, 0]),
+            TraceEvent::NakRx { qpn, psn } => (K_NAK_RX, [qpn, psn, 0, 0]),
+            TraceEvent::Retransmit { qpn, kind, packets } => (
+                K_RETRANSMIT,
+                [qpn, u64::from(kind == RetransmitKind::Timeout), packets, 0],
+            ),
+            TraceEvent::Scatter { psn, dist } => (K_SCATTER, [psn, dist, 0, 0]),
+            TraceEvent::ScatterCopy { psn, rid } => (K_SCATTER_COPY, [psn, rid, 0, 0]),
+            TraceEvent::GatherAck {
+                psn,
+                endpoint,
+                distinct,
+                quorum,
+            } => (K_GATHER_ACK, [psn, endpoint, distinct, u64::from(quorum)]),
+            TraceEvent::CreditClamp {
+                psn,
+                folded,
+                carried,
+            } => (K_CREDIT_CLAMP, [psn, folded, carried, 0]),
+            TraceEvent::NakForward { psn } => (K_NAK_FORWARD, [psn, 0, 0, 0]),
+        }
+    }
+
+    /// Rebuilds the event from its binary form (inverse of [`encode`]).
+    fn decode(kind: u8, f: [u64; 4]) -> TraceEvent {
+        match kind {
+            K_PROPOSE => TraceEvent::Propose {
+                view: f[0],
+                seq: f[1],
+            },
+            K_POST_BOUND => TraceEvent::PostBound {
+                view: f[0],
+                seq: f[1],
+                qpn: f[2],
+                wr_id: f[3],
+            },
+            K_DECIDE => TraceEvent::Decide {
+                view: f[0],
+                seq: f[1],
+            },
+            K_APPLY => TraceEvent::Apply { seq: f[0] },
+            K_VIEW_CHANGE => TraceEvent::ViewChange {
+                view: f[0],
+                leader: f[1],
+            },
+            K_FELL_BACK => TraceEvent::FellBack,
+            K_GROUP_ESTABLISHED => TraceEvent::GroupEstablished,
+            K_WQE_POST => TraceEvent::WqePost {
+                qpn: f[0],
+                wr_id: f[1],
+            },
+            K_WIRE_TX => TraceEvent::WireTx {
+                qpn: f[0],
+                wr_id: f[1],
+                psn: f[2],
+                npkts: f[3],
+            },
+            K_ACK_TX => TraceEvent::AckTx {
+                qpn: f[0],
+                psn: f[1],
+            },
+            K_ACK_RX => TraceEvent::AckRx {
+                qpn: f[0],
+                psn: f[1],
+                credits: f[2],
+            },
+            K_NAK_TX => TraceEvent::NakTx {
+                qpn: f[0],
+                psn: f[1],
+            },
+            K_NAK_RX => TraceEvent::NakRx {
+                qpn: f[0],
+                psn: f[1],
+            },
+            K_RETRANSMIT => TraceEvent::Retransmit {
+                qpn: f[0],
+                kind: if f[1] != 0 {
+                    RetransmitKind::Timeout
+                } else {
+                    RetransmitKind::Nak
+                },
+                packets: f[2],
+            },
+            K_SCATTER => TraceEvent::Scatter {
+                psn: f[0],
+                dist: f[1],
+            },
+            K_SCATTER_COPY => TraceEvent::ScatterCopy {
+                psn: f[0],
+                rid: f[1],
+            },
+            K_GATHER_ACK => TraceEvent::GatherAck {
+                psn: f[0],
+                endpoint: f[1],
+                distinct: f[2],
+                quorum: f[3] != 0,
+            },
+            K_CREDIT_CLAMP => TraceEvent::CreditClamp {
+                psn: f[0],
+                folded: f[1],
+                carried: f[2],
+            },
+            K_NAK_FORWARD => TraceEvent::NakForward { psn: f[0] },
+            other => unreachable!("unknown trace kind byte {other}"),
+        }
+    }
+}
+
+/// The preallocated ring the binary records land in, plus the label
+/// intern table.
+///
+/// Unbounded rings store records in fixed-capacity chunks: when one
+/// fills, a fresh chunk is appended — full chunks are never moved again,
+/// so steady-state growth costs one allocation per [`RING_CHUNK`]
+/// records and zero memcpy (a doubling `Vec` would re-copy the entire
+/// history on every growth step). Bounded rings preallocate exactly
+/// `cap` records up front, then overwrite the oldest record in place
+/// and count the drop.
+#[derive(Debug)]
+struct Ring {
+    /// The chunk currently being filled. A direct field (not behind a
+    /// `Vec<Vec<_>>` indirection) so an emit touches only the cache
+    /// lines of the `Ring` head itself plus the record store.
+    current: Vec<BinRecord>,
+    /// Filled chunks, oldest first.
+    full: Vec<Vec<BinRecord>>,
+    /// Cleared chunks kept for their capacity (and already-faulted
+    /// pages): a cleared ring re-fills without touching the allocator.
+    spare: Vec<Vec<BinRecord>>,
+    /// Next overwrite position in bounded mode once the ring is full.
+    head: usize,
+    /// Records overwritten in bounded mode.
+    dropped: u64,
+    /// `Some(cap)` = bounded ring of `cap` records.
+    bound: Option<usize>,
+    /// Interned node labels; a record's `node` indexes this table.
+    labels: Vec<Arc<str>>,
+}
+
+/// Records per chunk of an unbounded ring: 64Ki × 40 B = 2.5 MiB.
+const RING_CHUNK: usize = 1 << 16;
+
+impl Ring {
+    fn new(bound: Option<usize>) -> Self {
+        let first = match bound {
+            Some(b) => b.max(1),
+            None => RING_CHUNK,
+        };
+        Ring {
+            current: Vec::with_capacity(first),
+            full: Vec::new(),
+            spare: Vec::new(),
+            head: 0,
+            dropped: 0,
+            bound,
+            labels: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, label: &str) -> u8 {
+        if let Some(i) = self.labels.iter().position(|l| l.as_ref() == label) {
+            return i as u8;
+        }
+        let id = u8::try_from(self.labels.len()).expect("more than 255 distinct trace labels");
+        self.labels.push(Arc::from(label));
+        id
+    }
+
+    #[inline]
+    fn push(&mut self, rec: BinRecord) {
+        if self.current.len() < self.current.capacity() {
+            self.current.push(rec);
+            return;
+        }
+        self.push_slow(rec);
+    }
+
+    /// The full-chunk path: rotate in the next chunk (unbounded) or
+    /// overwrite the oldest record (bounded). Out of line so the common
+    /// `push` stays small enough to inline at every emit site.
+    #[inline(never)]
+    fn push_slow(&mut self, rec: BinRecord) {
+        match self.bound {
+            Some(cap) => {
+                // Full bounded ring: overwrite the oldest record
+                // (deterministic oldest-drop), arrival order kept via
+                // `head`.
+                self.current[self.head] = rec;
+                self.head = (self.head + 1) % cap.max(1);
+                self.dropped += 1;
+            }
+            None => {
+                let next = self
+                    .spare
+                    .pop()
+                    .unwrap_or_else(|| Vec::with_capacity(RING_CHUNK));
+                self.full.push(std::mem::replace(&mut self.current, next));
+                self.current.push(rec);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.full.iter().map(Vec::len).sum::<usize>() + self.current.len()
+    }
+
+    fn clear(&mut self) {
+        // Every chunk keeps its capacity (and its already-faulted
+        // pages): a cleared ring re-fills allocation-free.
+        for mut chunk in self.full.drain(..) {
+            chunk.clear();
+            self.spare.push(chunk);
+        }
+        self.current.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+
+    /// Decodes the ring contents oldest-first.
+    fn decode(&self) -> Vec<TraceRecord> {
+        // In bounded mode (`full` is always empty) the oldest record
+        // sits at `head` once the ring has wrapped.
+        let (older, newer) = if self.dropped > 0 {
+            (&self.current[self.head..], &self.current[..self.head])
+        } else {
+            (&self.current[..], &self.current[..0])
+        };
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(
+            self.full
+                .iter()
+                .flatten()
+                .chain(older.iter())
+                .chain(newer.iter())
+                .map(|r| TraceRecord {
+                    t: SimTime::from_nanos(r.t_ns()),
+                    node: Arc::clone(&self.labels[usize::from(r.node())]),
+                    event: TraceEvent::decode(r.kind(), r.fields),
+                }),
+        );
+        out
+    }
+}
+
 /// Receives trace records. [`TraceBuffer`] is the standard in-memory
 /// implementation; alternative sinks (streaming, filtering) implement
 /// this.
@@ -347,41 +691,66 @@ impl TraceSink for TraceBuffer {
     }
 }
 
-/// Owner's handle on a shared [`TraceBuffer`]: create one per traced
-/// run, derive per-node [`Tracer`]s from it, and read the records back
-/// after the run. Clonable and `Send`, so parallel sweeps can give each
-/// point its own buffer.
-#[derive(Debug, Clone, Default)]
+/// Owner's handle on a shared binary record ring: create one per traced
+/// run, derive per-node [`Tracer`]s from it, and read the (decoded)
+/// records back after the run. Clonable and `Send`, so parallel sweeps
+/// can give each point its own ring.
+///
+/// The default handle grows without bound (doubling its preallocated
+/// backing store); [`TraceHandle::bounded`] caps the ring at a fixed
+/// record count and deterministically overwrites the *oldest* record
+/// once full, counting each overwrite in [`TraceHandle::dropped`].
+#[derive(Debug, Clone)]
 pub struct TraceHandle {
-    inner: Arc<Mutex<TraceBuffer>>,
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl Default for TraceHandle {
+    fn default() -> Self {
+        TraceHandle {
+            inner: Arc::new(Mutex::new(Ring::new(None))),
+        }
+    }
 }
 
 impl TraceHandle {
-    /// A handle on a fresh, empty buffer.
+    /// A handle on a fresh, empty, unbounded ring.
     pub fn new() -> Self {
         TraceHandle::default()
     }
 
+    /// A handle on a ring capped at `cap` records. Once full, each new
+    /// record overwrites the oldest one; [`TraceHandle::dropped`] counts
+    /// the overwrites.
+    pub fn bounded(cap: usize) -> Self {
+        TraceHandle {
+            inner: Arc::new(Mutex::new(Ring::new(Some(cap)))),
+        }
+    }
+
     /// Derives an *enabled* tracer that stamps records with `label`.
     pub fn tracer(&self, label: &str) -> Tracer {
+        let node = self
+            .inner
+            .lock()
+            .expect("trace ring poisoned")
+            .intern(label);
         Tracer {
-            sink: Some(Arc::clone(&self.inner)),
+            ring: Some(Arc::clone(&self.inner)),
+            node,
             label: Arc::from(label),
         }
     }
 
-    /// A snapshot of the records collected so far.
+    /// A snapshot of the records collected so far, oldest first, decoded
+    /// from their binary form.
     pub fn records(&self) -> Vec<TraceRecord> {
-        self.inner
-            .lock()
-            .expect("trace buffer poisoned")
-            .records()
-            .to_vec()
+        self.inner.lock().expect("trace ring poisoned").decode()
     }
 
-    /// Number of records collected so far.
+    /// Number of records currently held (excludes dropped ones).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("trace buffer poisoned").len()
+        self.inner.lock().expect("trace ring poisoned").len()
     }
 
     /// `true` when nothing was recorded yet.
@@ -389,9 +758,15 @@ impl TraceHandle {
         self.len() == 0
     }
 
-    /// Discards everything collected so far.
+    /// Records lost to oldest-drop wraparound in a bounded ring (always
+    /// 0 for unbounded handles).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace ring poisoned").dropped
+    }
+
+    /// Discards everything collected so far (and resets the drop count).
     pub fn clear(&self) {
-        self.inner.lock().expect("trace buffer poisoned").clear();
+        self.inner.lock().expect("trace ring poisoned").clear();
     }
 }
 
@@ -400,16 +775,23 @@ impl TraceHandle {
 /// constructor closure never runs, no allocation, no lock. Configs embed
 /// one (`#[derive(Clone)]`-compatible, `Default` = disabled) and builders
 /// swap in enabled ones from a [`TraceHandle`].
+///
+/// An enabled tracer's `emit` writes one fixed-width 48-byte record into
+/// the shared ring: no heap allocation, no string formatting, no `Arc`
+/// clone — the node label was interned to a `u16` when the tracer was
+/// created.
 #[derive(Clone)]
 pub struct Tracer {
-    sink: Option<Arc<Mutex<TraceBuffer>>>,
+    ring: Option<Arc<Mutex<Ring>>>,
+    node: u8,
     label: Arc<str>,
 }
 
 impl Default for Tracer {
     fn default() -> Self {
         Tracer {
-            sink: None,
+            ring: None,
+            node: 0,
             label: Arc::from(""),
         }
     }
@@ -418,7 +800,7 @@ impl Default for Tracer {
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Tracer")
-            .field("enabled", &self.sink.is_some())
+            .field("enabled", &self.ring.is_some())
             .field("label", &self.label)
             .finish()
     }
@@ -432,13 +814,18 @@ impl Tracer {
 
     /// `true` when records actually go somewhere.
     pub fn is_enabled(&self) -> bool {
-        self.sink.is_some()
+        self.ring.is_some()
     }
 
-    /// The same sink under a different node label.
+    /// The same ring under a different node label.
     pub fn labeled(&self, label: &str) -> Tracer {
+        let node = match &self.ring {
+            Some(ring) => ring.lock().expect("trace ring poisoned").intern(label),
+            None => 0,
+        };
         Tracer {
-            sink: self.sink.clone(),
+            ring: self.ring.clone(),
+            node,
             label: Arc::from(label),
         }
     }
@@ -447,13 +834,10 @@ impl Tracer {
     /// disabled this is one branch; `f` is not called.
     #[inline]
     pub fn emit(&self, t: SimTime, f: impl FnOnce() -> TraceEvent) {
-        if let Some(sink) = &self.sink {
-            let rec = TraceRecord {
-                t,
-                node: Arc::clone(&self.label),
-                event: f(),
-            };
-            sink.lock().expect("trace buffer poisoned").record(rec);
+        if let Some(ring) = &self.ring {
+            let (kind, fields) = f().encode();
+            let rec = BinRecord::new(t.as_nanos(), self.node, kind, fields);
+            ring.lock().expect("trace ring poisoned").push(rec);
         }
     }
 }
@@ -1223,6 +1607,135 @@ mod tests {
         assert_eq!(records[1].t, SimTime::from_nanos(20));
         handle.clear();
         assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn binary_encoding_roundtrips_every_variant() {
+        let events = [
+            TraceEvent::Propose { view: 1, seq: 2 },
+            TraceEvent::PostBound {
+                view: 1,
+                seq: 2,
+                qpn: 3,
+                wr_id: 4,
+            },
+            TraceEvent::Decide { view: 1, seq: 2 },
+            TraceEvent::Apply { seq: 9 },
+            TraceEvent::ViewChange {
+                view: 5,
+                leader: u64::MAX,
+            },
+            TraceEvent::FellBack,
+            TraceEvent::GroupEstablished,
+            TraceEvent::WqePost { qpn: 16, wr_id: 7 },
+            TraceEvent::WireTx {
+                qpn: 16,
+                wr_id: 7,
+                psn: 0xff_fffe,
+                npkts: 3,
+            },
+            TraceEvent::AckTx { qpn: 16, psn: 11 },
+            TraceEvent::AckRx {
+                qpn: 16,
+                psn: 11,
+                credits: 31,
+            },
+            TraceEvent::NakTx { qpn: 16, psn: 12 },
+            TraceEvent::NakRx { qpn: 16, psn: 12 },
+            TraceEvent::Retransmit {
+                qpn: 16,
+                kind: RetransmitKind::Timeout,
+                packets: 2,
+            },
+            TraceEvent::Retransmit {
+                qpn: 16,
+                kind: RetransmitKind::Nak,
+                packets: 1,
+            },
+            TraceEvent::Scatter { psn: 8, dist: 1 },
+            TraceEvent::ScatterCopy { psn: 8, rid: 2 },
+            TraceEvent::GatherAck {
+                psn: 8,
+                endpoint: 2,
+                distinct: 2,
+                quorum: true,
+            },
+            TraceEvent::CreditClamp {
+                psn: 8,
+                folded: 3,
+                carried: 30,
+            },
+            TraceEvent::NakForward { psn: 8 },
+        ];
+        let handle = TraceHandle::new();
+        let tracer = handle.tracer("m0");
+        for (i, ev) in events.iter().enumerate() {
+            tracer.emit(SimTime::from_nanos(i as u64 * 5), || *ev);
+        }
+        let records = handle.records();
+        assert_eq!(records.len(), events.len());
+        for (i, (rec, ev)) in records.iter().zip(events.iter()).enumerate() {
+            assert_eq!(rec.event, *ev, "variant {i} did not round-trip");
+            assert_eq!(rec.t, SimTime::from_nanos(i as u64 * 5));
+            assert_eq!(&*rec.node, "m0");
+        }
+    }
+
+    #[test]
+    fn bounded_ring_drops_oldest_deterministically() {
+        let handle = TraceHandle::bounded(4);
+        let tracer = handle.tracer("m0");
+        for seq in 0..10 {
+            tracer.emit(SimTime::from_nanos(seq), || TraceEvent::Apply { seq });
+        }
+        assert_eq!(handle.len(), 4);
+        assert_eq!(handle.dropped(), 6);
+        let seqs: Vec<u64> = handle
+            .records()
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::Apply { seq } => seq,
+                ref other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest records must be dropped");
+        handle.clear();
+        assert_eq!(handle.dropped(), 0);
+        assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn wrapped_ring_yields_partial_spans_without_panicking() {
+        // A bounded ring that wrapped mid-chain loses the *head* of the
+        // oldest instance; span assembly must stay graceful — partial
+        // spans for what survived, complete ones for what did not wrap.
+        let full = {
+            let mut r = chain(1, 0, 1000, 100);
+            r.extend(chain(1, 1, 3000, 101));
+            r
+        };
+        let handle = TraceHandle::bounded(10);
+        let by_label: [Tracer; 2] = [handle.tracer("m0"), handle.tracer("switch")];
+        for rec in &full {
+            let tracer = if &*rec.node == "m0" {
+                &by_label[0]
+            } else {
+                &by_label[1]
+            };
+            tracer.emit(rec.t, || rec.event);
+        }
+        assert_eq!(handle.dropped(), (full.len() - 10) as u64);
+        let spans = assemble_spans(&handle.records());
+        let second = spans
+            .iter()
+            .find(|s| s.seq == 1)
+            .expect("unwrapped instance survives");
+        assert!(second.is_complete());
+        for span in &spans {
+            if span.seq == 0 {
+                assert!(!span.is_complete(), "truncated chain must stay partial");
+            }
+        }
     }
 
     /// Builds one synthetic instance's full record chain.

@@ -1,0 +1,448 @@
+//! A hierarchical timing wheel: the event queue behind [`crate::Simulation`].
+//!
+//! The engine's workload is almost entirely near-future timers and frame
+//! arrivals — nanoseconds to microseconds ahead of the clock — which a
+//! binary heap serves with O(log n) compares *and* O(log n) moves of a
+//! fat event payload per operation. The wheel replaces that with O(1)
+//! routing on push and an amortized O(1) bitmap scan on pop.
+//!
+//! # Structure
+//!
+//! Three direct-mapped levels of 4096 slots each, plus an overflow heap:
+//!
+//! | level | slot width | covers (from the current instant's block)   |
+//! |-------|-----------|----------------------------------------------|
+//! | 0     | 1 ns      | the 4096 ns block containing the horizon     |
+//! | 1     | 4096 ns   | the ~16.8 ms block containing the horizon    |
+//! | 2     | ~16.8 µs  | the ~68.7 s block containing the horizon     |
+//! | heap  | —         | everything beyond                            |
+//!
+//! An item at `t` goes to level 0 if `t >> 12` equals the horizon's
+//! block, level 1 if `t >> 24` matches, level 2 if `t >> 36` matches,
+//! and the overflow heap otherwise. Because every item satisfies
+//! `t >= horizon`, direct mapping within a matching block is unambiguous
+//! — there is no ring wraparound to disambiguate. When level 0 drains,
+//! the next occupied level-1 slot is promoted (its items redistributed
+//! into level 0), and so on up; promotions happen only inside a
+//! committed pop, so peeking never reshapes the wheel.
+//!
+//! # Determinism
+//!
+//! Items are totally ordered by `(at, seq)` and pops return exactly that
+//! order. A level-0 slot is 1 ns wide, so everything in it shares one
+//! timestamp and the pop order within a slot is the min-`seq` scan —
+//! insertion order for the monotonically numbered events the simulator
+//! feeds it, and well-defined even when a scheduler re-inserts events
+//! out of numeric order. Occupancy bitmaps (64 words per level) make
+//! "next occupied slot" a handful of word scans, started from a cached
+//! hint that only moves forward within a block.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+const LEVEL_BITS: u32 = 12;
+const SLOTS: usize = 1 << LEVEL_BITS;
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+const WORDS: usize = SLOTS / 64;
+
+/// Shift that maps a timestamp to its block id at `level`.
+const fn block_shift(level: u32) -> u32 {
+    LEVEL_BITS * (level + 1)
+}
+
+/// An entry parked in the far-future overflow heap, ordered by
+/// `(at, seq)` so the heap yields the earliest entry first.
+struct OverflowEntry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for OverflowEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for OverflowEntry<T> {}
+impl<T> PartialOrd for OverflowEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OverflowEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest entry
+        // on top.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One wheel level: 4096 slot vectors plus an occupancy bitmap.
+struct Level<T> {
+    slots: Vec<Vec<(u64, u64, T)>>,
+    occupied: [u64; WORDS],
+}
+
+impl<T> Level<T> {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, slot: usize, at: u64, seq: u64, item: T) {
+        self.occupied[slot >> 6] |= 1 << (slot & 63);
+        self.slots[slot].push((at, seq, item));
+    }
+
+    /// Index of the first occupied slot at or after `from_word * 64`.
+    #[inline]
+    fn first_occupied(&self, from_word: usize) -> Option<usize> {
+        for (w, &bits) in self.occupied.iter().enumerate().skip(from_word) {
+            if bits != 0 {
+                return Some((w << 6) | bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the `(at, seq)`-minimal entry of `slot`,
+    /// clearing the occupancy bit when the slot empties. Slot vectors
+    /// keep their capacity: steady-state churn allocates nothing.
+    fn take_min(&mut self, slot: usize) -> (u64, u64, T) {
+        let v = &mut self.slots[slot];
+        let mut min = 0;
+        for i in 1..v.len() {
+            if (v[i].0, v[i].1) < (v[min].0, v[min].1) {
+                min = i;
+            }
+        }
+        // Shift-remove keeps the residue ordered, so later scans stay
+        // branch-predictable; slots hold at most a same-instant burst.
+        let entry = v.remove(min);
+        if v.is_empty() {
+            self.occupied[slot >> 6] &= !(1 << (slot & 63));
+        }
+        entry
+    }
+
+    /// The `(at, seq)`-minimal entry of `slot`, without removing it.
+    fn peek_min(&self, slot: usize) -> Option<(u64, u64)> {
+        self.slots[slot].iter().map(|&(at, seq, _)| (at, seq)).min()
+    }
+}
+
+/// A hierarchical timing wheel holding items of type `T`, totally ordered
+/// by `(at, seq)`.
+///
+/// # Contract
+///
+/// * `push(at, seq, item)` requires `at >=` the `at` of the most recent
+///   `pop` (time never runs backwards); `seq` values need not be unique
+///   or ordered, but `(at, seq)` pairs must be unique for the pop order
+///   to be a total order.
+/// * `pop` returns items in strictly ascending `(at, seq)` order.
+pub struct TimingWheel<T> {
+    levels: [Level<T>; 3],
+    overflow: BinaryHeap<OverflowEntry<T>>,
+    /// `at` of the most recent pop: the floor below which nothing can be
+    /// scheduled any more.
+    horizon: u64,
+    /// `horizon >> 12/24/36` — the block each level currently covers.
+    /// Only transiently out of sync inside a committed pop.
+    bases: [u64; 3],
+    /// First possibly-occupied level-0 bitmap word; monotone within a
+    /// block, reset on promotion.
+    hint0: usize,
+    len: usize,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// An empty wheel with its horizon at time zero.
+    pub fn new() -> Self {
+        TimingWheel {
+            levels: [Level::new(), Level::new(), Level::new()],
+            overflow: BinaryHeap::new(),
+            horizon: 0,
+            bases: [0; 3],
+            hint0: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues `item` at `(at, seq)`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `at` lies before the horizon (an item
+    /// scheduled in the past can never be popped in order).
+    #[inline]
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        debug_assert!(
+            at >= self.horizon,
+            "push at {at} before horizon {}",
+            self.horizon
+        );
+        self.len += 1;
+        if at >> block_shift(0) == self.bases[0] {
+            self.levels[0].insert((at & SLOT_MASK) as usize, at, seq, item);
+        } else if at >> block_shift(1) == self.bases[1] {
+            self.levels[1].insert(((at >> LEVEL_BITS) & SLOT_MASK) as usize, at, seq, item);
+        } else if at >> block_shift(2) == self.bases[2] {
+            self.levels[2].insert(
+                ((at >> (2 * LEVEL_BITS)) & SLOT_MASK) as usize,
+                at,
+                seq,
+                item,
+            );
+        } else {
+            self.overflow.push(OverflowEntry { at, seq, item });
+        }
+    }
+
+    /// The `(at, seq)` of the next item to pop, without popping it.
+    ///
+    /// Any level-0 item precedes any level-1 item, and so on (each level
+    /// covers a strictly earlier time range than the next), so the first
+    /// occupied tier decides.
+    pub fn peek(&self) -> Option<(u64, u64)> {
+        if let Some(slot) = self.levels[0].first_occupied(self.hint0) {
+            return self.levels[0].peek_min(slot);
+        }
+        for level in &self.levels[1..] {
+            if let Some(slot) = level.first_occupied(0) {
+                return level.peek_min(slot);
+            }
+        }
+        self.overflow.peek().map(|e| (e.at, e.seq))
+    }
+
+    /// Pops the `(at, seq)`-minimal item.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        self.pop_if(u64::MAX)
+    }
+
+    /// Pops the minimal item only if its `at` is `<= deadline`; leaves
+    /// the wheel untouched otherwise. The level-0 fast path decides from
+    /// the slot index alone — a 1 ns slot's timestamp is its address —
+    /// so declining is as cheap as a bitmap scan.
+    pub fn pop_if(&mut self, deadline: u64) -> Option<(u64, u64, T)> {
+        loop {
+            if let Some(slot) = self.levels[0].first_occupied(self.hint0) {
+                let at = (self.bases[0] << LEVEL_BITS) | slot as u64;
+                if at > deadline {
+                    return None;
+                }
+                self.hint0 = slot >> 6;
+                let (at, seq, item) = self.levels[0].take_min(slot);
+                self.horizon = at;
+                self.len -= 1;
+                return Some((at, seq, item));
+            }
+            // Level 0 drained: promote the earliest occupied level-1
+            // slot — but only once we know its earliest item is due, so
+            // a declined pop never moves the wheel past times that can
+            // still be scheduled.
+            if let Some(slot) = self.levels[1].first_occupied(0) {
+                if self.levels[1].peek_min(slot).expect("occupied slot").0 > deadline {
+                    return None;
+                }
+                self.promote(1, slot);
+                continue;
+            }
+            if let Some(slot) = self.levels[2].first_occupied(0) {
+                if self.levels[2].peek_min(slot).expect("occupied slot").0 > deadline {
+                    return None;
+                }
+                self.promote(2, slot);
+                continue;
+            }
+            let earliest = self.overflow.peek()?.at;
+            if earliest > deadline {
+                return None;
+            }
+            self.migrate_overflow(earliest);
+        }
+    }
+
+    /// Moves every item of `levels[level]`'s `slot` one level down,
+    /// advancing that lower level's block to the slot's time range.
+    fn promote(&mut self, level: usize, slot: usize) {
+        let shift = LEVEL_BITS * level as u32;
+        self.bases[level - 1] = (self.bases[level] << LEVEL_BITS) | slot as u64;
+        if level == 1 {
+            self.hint0 = 0;
+        }
+        let mut items = std::mem::take(&mut self.levels[level].slots[slot]);
+        self.levels[level].occupied[slot >> 6] &= !(1 << (slot & 63));
+        let dest = level - 1;
+        for (at, seq, item) in items.drain(..) {
+            let idx = ((at >> (shift - LEVEL_BITS)) & SLOT_MASK) as usize;
+            self.levels[dest].insert(idx, at, seq, item);
+        }
+        // Hand the emptied vector back so the slot keeps its capacity.
+        self.levels[level].slots[slot] = items;
+    }
+
+    /// Re-centres every level on `earliest`'s blocks and pulls the whole
+    /// overflow block containing `earliest` into the wheel.
+    fn migrate_overflow(&mut self, earliest: u64) {
+        self.bases = [
+            earliest >> block_shift(0),
+            earliest >> block_shift(1),
+            earliest >> block_shift(2),
+        ];
+        self.hint0 = 0;
+        while let Some(e) = self.overflow.peek() {
+            if e.at >> block_shift(2) != self.bases[2] {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry");
+            // Re-route through push (len is unchanged by the move).
+            self.len -= 1;
+            self.push(e.at, e.seq, e.item);
+        }
+    }
+
+    /// Calls `f` with every queued item due at exactly the head
+    /// timestamp (the co-enabled set), in unspecified order. O(slot),
+    /// not O(queue): all same-instant items share one slot of whichever
+    /// tier currently holds the head.
+    pub fn for_each_at_head(&self, mut f: impl FnMut(u64, u64, &T)) {
+        let Some((head_at, _)) = self.peek() else {
+            return;
+        };
+        if let Some(slot) = self.levels[0].first_occupied(self.hint0) {
+            for (at, seq, item) in &self.levels[0].slots[slot] {
+                debug_assert_eq!(*at, head_at);
+                f(*at, *seq, item);
+            }
+            return;
+        }
+        for level in &self.levels[1..] {
+            if let Some(slot) = level.first_occupied(0) {
+                for (at, seq, item) in &level.slots[slot] {
+                    if *at == head_at {
+                        f(*at, *seq, item);
+                    }
+                }
+                return;
+            }
+        }
+        for e in self.overflow.iter() {
+            if e.at == head_at {
+                f(e.at, e.seq, &e.item);
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for TimingWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimingWheel")
+            .field("len", &self.len)
+            .field("horizon", &self.horizon)
+            .field("bases", &self.bases)
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimingWheel<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some(e) = wheel.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimingWheel::new();
+        w.push(50, 3, 0);
+        w.push(10, 1, 1);
+        w.push(50, 2, 2);
+        w.push(10, 0, 3);
+        let order: Vec<(u64, u64)> = drain(&mut w).iter().map(|&(a, s, _)| (a, s)).collect();
+        assert_eq!(order, vec![(10, 0), (10, 1), (50, 2), (50, 3)]);
+    }
+
+    #[test]
+    fn crosses_every_level_boundary() {
+        let mut w = TimingWheel::new();
+        // One item per tier: level 0, 1, 2 and the overflow heap.
+        let times = [5u64, 1 << 13, 1 << 25, 1 << 37, 1 << 60];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(t, i as u64, i as u32);
+        }
+        let popped: Vec<u64> = drain(&mut w).iter().map(|&(a, _, _)| a).collect();
+        assert_eq!(popped, times);
+    }
+
+    #[test]
+    fn pop_if_respects_deadline_without_reshaping() {
+        let mut w = TimingWheel::new();
+        w.push(1 << 20, 0, 7);
+        assert!(w.pop_if(100).is_none());
+        // The declined pop must not have promoted anything: an earlier
+        // push is still delivered first.
+        w.push(500, 1, 8);
+        assert_eq!(w.pop(), Some((500, 1, 8)));
+        assert_eq!(w.pop(), Some((1 << 20, 0, 7)));
+    }
+
+    #[test]
+    fn same_instant_burst_pops_in_seq_order() {
+        let mut w = TimingWheel::new();
+        for seq in (0..32u64).rev() {
+            w.push(77, seq, seq as u32);
+        }
+        let seqs: Vec<u64> = drain(&mut w).iter().map(|&(_, s, _)| s).collect();
+        assert_eq!(seqs, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn head_iteration_sees_only_the_head_instant() {
+        let mut w = TimingWheel::new();
+        w.push(10, 0, 1);
+        w.push(10, 1, 2);
+        w.push(11, 2, 3);
+        let mut seen = Vec::new();
+        w.for_each_at_head(|at, seq, &v| seen.push((at, seq, v)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(10, 0, 1), (10, 1, 2)]);
+    }
+
+    #[test]
+    fn len_tracks_across_migrations() {
+        let mut w = TimingWheel::new();
+        for i in 0..100u64 {
+            w.push(i * (1 << 30), i, i as u32);
+        }
+        assert_eq!(w.len(), 100);
+        assert_eq!(drain(&mut w).len(), 100);
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Differential property test of the timing wheel: a shadow binary
+//! heap — the reference implementation the wheel replaced in
+//! `Simulation` — runs in lockstep with a [`TimingWheel`] over
+//! randomized schedules, and every pop must agree exactly on
+//! `(time, seq, payload)`. The schedules interleave pushes and pops and
+//! draw deltas from every tier of the wheel: same-instant bursts,
+//! level-0/1/2 horizons, and far-future times that land in the overflow
+//! heap.
+
+use netsim::TimingWheel;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A delta drawn so each wheel tier (and the overflow heap) gets hit:
+/// 1 ns slots, the level-0 block, level 1 (~16.8 ms), level 2 (~68.7 s),
+/// and beyond.
+fn tiered_delta() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,                // same-instant / same-slot bursts
+        0u64..(1 << 12),         // level 0
+        (1u64 << 12)..(1 << 24), // level 1
+        (1u64 << 24)..(1 << 36), // level 2
+        (1u64 << 36)..(1 << 50), // overflow heap
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Push/pop interleavings: after each step and at the final drain,
+    /// wheel and heap agree on every popped `(at, seq, item)`.
+    #[test]
+    fn wheel_matches_shadow_heap(
+        steps in prop::collection::vec((tiered_delta(), 0usize..3), 1..120),
+    ) {
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64; // `at` of the most recent pop
+
+        for (seq, &(delta, pops)) in steps.iter().enumerate() {
+            let seq = seq as u64;
+            let at = now.saturating_add(delta);
+            wheel.push(at, seq, seq);
+            heap.push(Reverse((at, seq, seq)));
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(
+                wheel.peek(),
+                heap.peek().map(|&Reverse((a, s, _))| (a, s))
+            );
+            for _ in 0..pops {
+                let got = wheel.pop();
+                let want = heap.pop().map(|Reverse(e)| e);
+                prop_assert_eq!(got, want, "divergence mid-schedule");
+                if let Some((at, _, _)) = got {
+                    now = at;
+                }
+            }
+        }
+        while let Some(Reverse(want)) = heap.pop() {
+            prop_assert_eq!(wheel.pop(), Some(want), "divergence during drain");
+        }
+        prop_assert!(wheel.is_empty());
+        prop_assert_eq!(wheel.pop(), None);
+    }
+
+    /// Same-timestamp bursts with shuffled seq values: pops come back in
+    /// ascending seq order no matter the insertion order, matching the
+    /// heap exactly.
+    #[test]
+    fn same_instant_bursts_agree(
+        at in 0u64..(1 << 40),
+        mut seqs in prop::collection::vec(0u64..10_000, 1..64),
+    ) {
+        seqs.sort_unstable();
+        seqs.dedup();
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        // Insert in reversed (worst-case) order.
+        for &s in seqs.iter().rev() {
+            wheel.push(at, s, s);
+            heap.push(Reverse((at, s, s)));
+        }
+        while let Some(Reverse(want)) = heap.pop() {
+            prop_assert_eq!(wheel.pop(), Some(want));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// `pop_if` against the heap: a deadline between the queued times
+    /// yields exactly the due prefix, and a declined pop never perturbs
+    /// the order of what remains.
+    #[test]
+    fn pop_if_yields_exactly_the_due_prefix(
+        deltas in prop::collection::vec(tiered_delta(), 1..80),
+        cut in 0usize..80,
+    ) {
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut entries = Vec::new();
+        let mut t = 0u64;
+        for (i, &d) in deltas.iter().enumerate() {
+            t = t.saturating_add(d);
+            wheel.push(t, i as u64, i as u64);
+            entries.push((t, i as u64, i as u64));
+        }
+        entries.sort_unstable();
+        let cut = cut.min(entries.len().saturating_sub(1));
+        let deadline = entries[cut].0;
+        let due: Vec<_> = entries.iter().copied().filter(|&(at, _, _)| at <= deadline).collect();
+        let mut popped = Vec::new();
+        while let Some(e) = wheel.pop_if(deadline) {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped, due, "due prefix mismatch at deadline {}", deadline);
+        // The declined remainder still drains in exact heap order.
+        let rest: Vec<_> = entries.into_iter().filter(|&(at, _, _)| at > deadline).collect();
+        for want in rest {
+            prop_assert_eq!(wheel.pop(), Some(want));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}

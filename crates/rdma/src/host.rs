@@ -15,10 +15,10 @@
 
 use bytes::Bytes;
 use netsim::{
-    Context, Cpu, Frame, MetricsRegistry, Node, PortId, RetransmitKind, SimDuration, SimTime,
-    TimerToken, TraceEvent, Tracer,
+    Context, Cpu, Frame, FxHashMap, MetricsRegistry, Node, PortId, RetransmitKind, SimDuration,
+    SimTime, TimerToken, TraceEvent, Tracer,
 };
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use crate::cm::{CmMessage, RejectReason};
@@ -276,7 +276,7 @@ pub struct HostCore {
     active_port: PortId,
     /// Per-queue-pair egress port: a connection is bound to the path it
     /// was established (or last reached) over.
-    qp_ports: HashMap<u32, PortId>,
+    qp_ports: FxHashMap<u32, PortId>,
     // --- receive path ---
     rx_queue: VecDeque<(PortId, Frame, bool)>,
     rx_busy: bool,
@@ -286,17 +286,17 @@ pub struct HostCore {
     rx_request_backlog: usize,
     // --- handshakes (value includes the port the exchange rides on) ---
     next_handshake: u64,
-    initiated: HashMap<u64, Qpn>,
-    responding: HashMap<u64, Qpn>,
+    initiated: FxHashMap<u64, Qpn>,
+    responding: FxHashMap<u64, Qpn>,
     /// Arrival port of pending incoming ConnectRequests.
-    request_ports: HashMap<u64, PortId>,
+    request_ports: FxHashMap<u64, PortId>,
     // --- deliveries to the app ---
-    deliveries: HashMap<u64, Delivery>,
+    deliveries: FxHashMap<u64, Delivery>,
     next_delivery: u64,
     // --- read landing zones ---
-    read_landing: HashMap<(u32, u64), (RegionHandle, usize)>,
+    read_landing: FxHashMap<(u32, u64), (RegionHandle, usize)>,
     // --- watched regions (remote-write notification), rkey -> region ---
-    watch_keys: HashMap<u32, RegionHandle>,
+    watch_keys: FxHashMap<u32, RegionHandle>,
     // --- retransmission ---
     rt_tick_armed: bool,
     /// Counters.
@@ -318,18 +318,18 @@ impl HostCore {
             tx_staged: None,
             tx_last_served: 0,
             active_port: PortId::FIRST,
-            qp_ports: HashMap::new(),
+            qp_ports: FxHashMap::default(),
             rx_queue: VecDeque::new(),
             rx_busy: false,
             rx_request_backlog: 0,
             next_handshake: 1,
-            initiated: HashMap::new(),
-            responding: HashMap::new(),
-            request_ports: HashMap::new(),
-            deliveries: HashMap::new(),
+            initiated: FxHashMap::default(),
+            responding: FxHashMap::default(),
+            request_ports: FxHashMap::default(),
+            deliveries: FxHashMap::default(),
             next_delivery: 0,
-            read_landing: HashMap::new(),
-            watch_keys: HashMap::new(),
+            read_landing: FxHashMap::default(),
+            watch_keys: FxHashMap::default(),
             rt_tick_armed: false,
             stats: HostStats::default(),
             cfg,
@@ -454,37 +454,38 @@ impl HostCore {
     /// Pulls the next ready message from the queue pairs, round-robin over
     /// QPNs for fairness, and stages its packets for transmission.
     fn refill_tx(&mut self, now: SimTime) {
-        let qpns: Vec<u32> = self.qps.keys().copied().collect();
-        if qpns.is_empty() {
-            return;
-        }
-        let start = qpns
-            .iter()
-            .position(|&q| q > self.tx_last_served)
-            .unwrap_or(0);
-        for i in 0..qpns.len() {
-            let qpn = qpns[(start + i) % qpns.len()];
-            let qp = self.qps.get_mut(&qpn).expect("qpn from keys");
+        // Round-robin from the QPN after the last served one, wrapping —
+        // two ordered range walks, no key snapshot allocation.
+        let last = self.tx_last_served;
+        let mut ready = None;
+        for (&qpn, qp) in self.qps.range_mut((last + 1)..) {
             if let Some(packets) = qp.next_message(now) {
-                if let Some((wr_id, first_psn, _)) = qp.newest_inflight() {
-                    self.cfg.tracer.emit(now, || TraceEvent::WireTx {
-                        qpn: u64::from(qpn),
-                        wr_id: wr_id.0,
-                        psn: u64::from(first_psn.value()),
-                        npkts: packets.len() as u64,
-                    });
-                }
-                self.tx_last_served = qpn;
-                let port = self.qp_port(Qpn(qpn));
-                let frames: Vec<Frame> = packets
-                    .iter()
-                    .map(|p| self.build_frame(Qpn(qpn), p))
-                    .collect();
-                for f in frames {
-                    self.tx_fifo.push_back((port, f));
-                }
-                return;
+                ready = Some((qpn, packets));
+                break;
             }
+        }
+        if ready.is_none() {
+            for (&qpn, qp) in self.qps.range_mut(..=last) {
+                if let Some(packets) = qp.next_message(now) {
+                    ready = Some((qpn, packets));
+                    break;
+                }
+            }
+        }
+        let Some((qpn, packets)) = ready else { return };
+        if let Some((wr_id, first_psn, _)) = self.qps[&qpn].newest_inflight() {
+            self.cfg.tracer.emit(now, || TraceEvent::WireTx {
+                qpn: u64::from(qpn),
+                wr_id: wr_id.0,
+                psn: u64::from(first_psn.value()),
+                npkts: packets.len() as u64,
+            });
+        }
+        self.tx_last_served = qpn;
+        let port = self.qp_port(Qpn(qpn));
+        for p in &packets {
+            let f = self.build_frame(Qpn(qpn), p);
+            self.tx_fifo.push_back((port, f));
         }
     }
 

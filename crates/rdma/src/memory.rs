@@ -8,7 +8,7 @@
 //! log" (§III).
 
 use bytes::Bytes;
-use std::collections::HashMap;
+use netsim::FxHashMap;
 use std::error::Error;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -36,7 +36,7 @@ pub struct RegionInfo {
 struct Region {
     info: RegionInfo,
     default_perms: Permissions,
-    peer_perms: HashMap<Ipv4Addr, Permissions>,
+    peer_perms: FxHashMap<Ipv4Addr, Permissions>,
     /// When set, incoming writes must additionally arrive on one of these
     /// local queue pairs. This is how a replica fences out a deposed
     /// leader whose traffic still arrives from the (unchanged) switch
@@ -95,7 +95,7 @@ impl Error for AccessError {}
 #[derive(Debug)]
 pub struct HostMemory {
     regions: Vec<Region>,
-    by_rkey: HashMap<u32, usize>,
+    by_rkey: FxHashMap<u32, usize>,
     next_va: u64,
     key_state: u64,
 }
@@ -106,7 +106,7 @@ impl HostMemory {
     pub fn new(seed: u64) -> Self {
         HostMemory {
             regions: Vec::new(),
-            by_rkey: HashMap::new(),
+            by_rkey: FxHashMap::default(),
             next_va: 0x0001_0000_0000,
             key_state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
         }
@@ -145,7 +145,7 @@ impl HostMemory {
                 rkey,
             },
             default_perms: perms,
-            peer_perms: HashMap::new(),
+            peer_perms: FxHashMap::default(),
             allowed_writer_qpns: None,
             buf: vec![0; len],
         });

@@ -16,7 +16,7 @@
 
 use netsim::{Context, Cpu, Frame, Node, PortId, SimDuration, SimTime, TimerToken};
 use rdma::{PacketTemplate, RocePacket};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -169,8 +169,15 @@ pub struct Switch<P: SwitchProgram> {
     program: P,
     ingress_parsers: Vec<Cpu>,
     egress_parsers: Vec<Cpu>,
-    stash: HashMap<u64, Stashed>,
-    next_stash: u64,
+    /// In-flight packets parked between pipeline stages, addressed by the
+    /// timer token that will resume them. A slab with a free list: every
+    /// stage transition is two O(1) vector ops, and steady-state traffic
+    /// recycles the same slots without hashing or allocating.
+    stash: Vec<Option<Stashed>>,
+    stash_free: Vec<u64>,
+    /// Reused per-ingress multicast member snapshot (no steady-state
+    /// allocation on the replication path).
+    mcast_scratch: Vec<McastMember>,
 }
 
 impl<P: SwitchProgram> Switch<P> {
@@ -186,8 +193,9 @@ impl<P: SwitchProgram> Switch<P> {
             program,
             ingress_parsers: vec![Cpu::new(); ports],
             egress_parsers: vec![Cpu::new(); ports],
-            stash: HashMap::new(),
-            next_stash: 0,
+            stash: Vec::new(),
+            stash_free: Vec::new(),
+            mcast_scratch: Vec::new(),
         }
     }
 
@@ -217,10 +225,24 @@ impl<P: SwitchProgram> Switch<P> {
     }
 
     fn stash_put(&mut self, item: Stashed) -> u64 {
-        let id = self.next_stash;
-        self.next_stash = (self.next_stash + 1) & TK_DATA_MASK;
-        self.stash.insert(id, item);
-        id
+        if let Some(id) = self.stash_free.pop() {
+            self.stash[id as usize] = Some(item);
+            id
+        } else {
+            let id = self.stash.len() as u64;
+            debug_assert!(id <= TK_DATA_MASK, "stash id overflows token space");
+            self.stash.push(Some(item));
+            id
+        }
+    }
+
+    fn stash_take(&mut self, id: u64) -> Option<Stashed> {
+        let slot = self.stash.get_mut(id as usize)?;
+        let item = slot.take();
+        if item.is_some() {
+            self.stash_free.push(id);
+        }
+        item
     }
 
     /// Charges a parser for one packet; `None` means tail drop.
@@ -261,17 +283,15 @@ impl<P: SwitchProgram> Switch<P> {
                 ctx.schedule(self.shared.cfg.pipeline_latency, TimerToken(TK_EGRESS | id));
             }
             IngressVerdict::Multicast(gid) => {
-                let members: Vec<McastMember> = self
-                    .shared
-                    .mcast
-                    .members(gid)
-                    .map(|m| m.to_vec())
-                    .unwrap_or_default();
+                let mut members = std::mem::take(&mut self.mcast_scratch);
+                members.clear();
+                members.extend_from_slice(self.shared.mcast.members(gid).unwrap_or_default());
                 if members.is_empty() {
+                    self.mcast_scratch = members;
                     self.shared.stats.dropped_ingress += 1;
                     return;
                 }
-                for m in members {
+                for &m in &members {
                     self.shared.stats.multicast_copies += 1;
                     // Clones share the payload bytes and the serialized
                     // template; only the parsed header view is per copy.
@@ -282,6 +302,7 @@ impl<P: SwitchProgram> Switch<P> {
                     let id = self.stash_put(Stashed::AtEgress(lane, m.port, m.rid));
                     ctx.schedule(self.shared.cfg.pipeline_latency, TimerToken(TK_EGRESS | id));
                 }
+                self.mcast_scratch = members;
             }
             IngressVerdict::ToCpu => {
                 self.shared.stats.punted += 1;
@@ -319,13 +340,13 @@ impl<P: SwitchProgram> Node for Switch<P> {
         let data = token.0 & TK_DATA_MASK;
         match class {
             TK_INGRESS => {
-                let Some(Stashed::RawFrame(frame, port)) = self.stash.remove(&data) else {
+                let Some(Stashed::RawFrame(frame, port)) = self.stash_take(data) else {
                     return;
                 };
                 self.run_ingress(frame, port, ctx);
             }
             TK_EGRESS => {
-                let Some(Stashed::AtEgress(lane, port, rid)) = self.stash.remove(&data) else {
+                let Some(Stashed::AtEgress(lane, port, rid)) = self.stash_take(data) else {
                     return;
                 };
                 let parser = &mut self.egress_parsers[port.index()];
@@ -340,7 +361,7 @@ impl<P: SwitchProgram> Node for Switch<P> {
                 }
             }
             TK_EMIT => {
-                let Some(Stashed::AtEgress(mut lane, port, rid)) = self.stash.remove(&data) else {
+                let Some(Stashed::AtEgress(mut lane, port, rid)) = self.stash_take(data) else {
                     return;
                 };
                 let meta = EgressMeta {
@@ -371,7 +392,7 @@ impl<P: SwitchProgram> Node for Switch<P> {
                 }
             }
             TK_CPU => {
-                let Some(Stashed::ForCpu(pkt)) = self.stash.remove(&data) else {
+                let Some(Stashed::ForCpu(pkt)) = self.stash_take(data) else {
                     return;
                 };
                 let mut ops = Control {

@@ -2,11 +2,12 @@
 # Benchmark trajectory: criterion microbenches for the packet codec and
 # the switch/simulator hot loops, then the timed experiment sweeps
 # (sequential vs parallel runner, outputs asserted identical), written to
-# BENCH_3.json at the repo root, and the tracing-overhead comparison
+# BENCH_3.json at the repo root, the tracing-overhead comparison
 # (sink disabled vs enabled, outcomes asserted identical) written to
-# BENCH_5.json.
+# BENCH_5.json, and the event-engine scorecard (rates + overhead vs the
+# pre-overhaul baselines) written to BENCH_6.json.
 #
-#   ./scripts/bench.sh           # criterion smoke + BENCH_3/BENCH_5.json
+#   ./scripts/bench.sh           # criterion smoke + BENCH_3/5/6.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +20,7 @@ cargo bench -p p4ce-bench --bench sim_consensus
 echo "==> criterion: switch_registers (scatter/gather primitives)"
 cargo bench -p p4ce-bench --bench switch_registers
 
-echo "==> timed sweeps -> BENCH_3.json, trace overhead -> BENCH_5.json"
+echo "==> timed sweeps -> BENCH_3.json, trace overhead -> BENCH_5.json, scorecard -> BENCH_6.json"
 cargo run --release -p p4ce-bench --bin bench_trajectory
 
-echo "bench: BENCH_3.json and BENCH_5.json written"
+echo "bench: BENCH_3.json, BENCH_5.json and BENCH_6.json written"
