@@ -1384,17 +1384,27 @@ impl RdmaApp for P4ceMember {
     fn on_remote_write(
         &mut self,
         region: RegionHandle,
-        _offset: u64,
-        _len: usize,
+        offset: u64,
+        payload: &Bytes,
         ops: &mut HostOps<'_, '_>,
     ) {
         if Some(region) != self.log_region {
             return;
         }
+        // Fast path: drain entries straight out of the delivered payload
+        // (zero-copy slices of the received frame). The region sweep
+        // afterwards picks up anything the payload path could not serve —
+        // entries completed by earlier deliveries, or a reader positioned
+        // outside the delivered range — and is a no-op in steady state.
         let log_size = self.cfg.cluster.log_size;
         let entries = {
+            let mut entries = self
+                .reader
+                .drain_payload(payload, offset as usize)
+                .unwrap_or_default();
             let log = ops.read_local(region, 0, log_size);
-            self.reader.drain(log).unwrap_or_default()
+            entries.extend(self.reader.drain(log).unwrap_or_default());
+            entries
         };
         for entry in &entries {
             // Epoch rebuilds replay the log from the head; skip what

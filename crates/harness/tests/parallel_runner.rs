@@ -55,6 +55,12 @@ fn thread_count_is_recorded_but_not_compared() {
     assert!(par.iter().all(|o| o.threads_used == expected));
     // threads_used is provenance, not an outcome: equality still holds.
     assert_eq!(par, seq);
+    // The exclusion is part of PointOutcome's documented equality
+    // contract. Assert it directly, independent of how many cores this
+    // box has: two outcomes differing *only* in threads_used are equal.
+    let mut relabeled = seq[0];
+    relabeled.threads_used = seq[0].threads_used + 63;
+    assert_eq!(relabeled, seq[0], "threads_used must not affect equality");
 }
 
 #[test]

@@ -1135,18 +1135,26 @@ impl RdmaApp for MuMember {
     fn on_remote_write(
         &mut self,
         region: RegionHandle,
-        _offset: u64,
-        _len: usize,
+        offset: u64,
+        payload: &Bytes,
         ops: &mut HostOps<'_, '_>,
     ) {
         if Some(region) != self.log_region {
             return;
         }
         // Consume complete entries (torn tails wait for their canary).
+        // Zero-copy fast path over the delivered payload first; the
+        // region sweep serves whatever the payload path could not and is
+        // a no-op in steady state.
         let log_size = self.cfg.cluster.log_size;
         let entries = {
+            let mut entries = self
+                .reader
+                .drain_payload(payload, offset as usize)
+                .unwrap_or_default();
             let log = ops.read_local(region, 0, log_size);
-            self.reader.drain(log).unwrap_or_default()
+            entries.extend(self.reader.drain(log).unwrap_or_default());
+            entries
         };
         for entry in &entries {
             // Epoch rebuilds replay the log from the head; skip what

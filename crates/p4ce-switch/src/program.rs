@@ -23,12 +23,15 @@
 
 use netsim::{PortId, SimDuration, SimTime, TraceEvent, Tracer};
 use rdma::cm::{CmMessage, RegionAdvert, RejectReason};
-use rdma::{AethKind, MacAddr, Opcode, Psn, Qpn, RKey, RocePacket, CM_QPN};
+use rdma::{
+    patch_frame, Aeth, AethKind, MacAddr, Opcode, Psn, Qpn, RKey, RewriteSet, RocePacket, RoceView,
+    CM_QPN,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 use tofino::{
     identity_hash, ControlOps, EgressMeta, IngressMeta, IngressVerdict, MatchTable, McastMember,
-    MulticastGroupId, PipelineOps, RegisterArray, SwitchProgram,
+    MulticastGroupId, PipelineOps, RegisterArray, SwitchProgram, ViewVerdict,
 };
 
 use crate::spec::{GroupJoin, GroupSpec};
@@ -547,49 +550,56 @@ impl P4ceProgram {
         (min, skipped)
     }
 
-    /// Rewrites an ACK/NAK from replica space into leader space. Every
-    /// field touched here is header-patchable, so the forwarded ACK rides
-    /// the zero-copy emit path like scattered writes do.
-    fn rewrite_ack_for_leader(pkt: &mut RocePacket, group: &Group, endpoint: u8, sw_ip: Ipv4Addr) {
+    /// The header deltas that move an ACK/NAK from replica space into
+    /// leader space. Every field touched here is header-patchable, so a
+    /// forwarded ACK rides the zero-copy emit path like scattered writes
+    /// do — via [`rdma::patch_frame`] on the view fast path, or
+    /// [`RewriteSet::apply`] on the owned-packet path.
+    fn rewrite_for_leader(group: &Group, endpoint: u8, sw_ip: Ipv4Addr, psn: Psn) -> RewriteSet {
         let replica = &group.replicas[endpoint as usize];
-        let dist = replica.start_psn_out.distance_to(pkt.bth.psn);
-        pkt.bth.psn = group.leader_start_psn.advance(dist);
-        pkt.bth.dest_qp = group.leader_qpn;
-        pkt.src_ip = sw_ip;
-        pkt.src_mac = MacAddr::for_ip(sw_ip);
-        pkt.dst_ip = group.leader_ip;
-        pkt.dst_mac = MacAddr::for_ip(group.leader_ip);
+        let dist = replica.start_psn_out.distance_to(psn);
+        RewriteSet {
+            psn: Some(group.leader_start_psn.advance(dist)),
+            dest_qp: Some(group.leader_qpn),
+            src_ip: Some(sw_ip),
+            src_mac: Some(MacAddr::for_ip(sw_ip)),
+            dst_ip: Some(group.leader_ip),
+            dst_mac: Some(MacAddr::for_ip(group.leader_ip)),
+            ..RewriteSet::default()
+        }
     }
 
-    /// The gather decision for one ACK. Returns `true` if this packet must
-    /// be forwarded to the leader (rewritten in place). `now` and `tracer`
-    /// come from the pipeline metadata — the gather registers themselves
-    /// have no clock.
-    fn gather(
+    /// The gather decision for one ACK, expressed as header deltas so both
+    /// the owned-packet path ([`Self::gather`]) and the borrowed-view path
+    /// ([`SwitchProgram::ingress_view`]) share one register machine. `now`
+    /// and `tracer` come from the pipeline metadata — the gather registers
+    /// themselves have no clock.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_core(
         &mut self,
-        pkt: &mut RocePacket,
+        psn: Psn,
+        aeth: Aeth,
         gid: u16,
         endpoint: u8,
         sw_ip: Ipv4Addr,
         now: SimTime,
         tracer: &Tracer,
-    ) -> bool {
+    ) -> GatherVerdict {
         let Some(group) = self.groups.get_mut(&gid) else {
-            return false;
+            return GatherVerdict::Absorb;
         };
         if !group.active {
-            return false;
+            return GatherVerdict::Absorb;
         }
-        let aeth = pkt.aeth.expect("gather input carries AETH");
         match aeth.kind {
             AethKind::Nak(_) => {
                 // NAKs pass through immediately (§III-A).
-                Self::rewrite_ack_for_leader(pkt, group, endpoint, sw_ip);
+                let rw = Self::rewrite_for_leader(group, endpoint, sw_ip, psn);
                 self.stats.naks_forwarded += 1;
                 tracer.emit(now, || TraceEvent::NakForward {
-                    psn: u64::from(pkt.bth.psn.value()),
+                    psn: u64::from(rw.psn.expect("leader PSN set").value()),
                 });
-                true
+                GatherVerdict::Forward(rw)
             }
             AethKind::Ack { credits } => {
                 // Track this replica's most recent credit count — stored
@@ -602,14 +612,14 @@ impl P4ceProgram {
                     .last_ack_scatter
                     .write(endpoint as usize, group.scatter_count);
                 let replica = &group.replicas[endpoint as usize];
-                let dist = replica.start_psn_out.distance_to(pkt.bth.psn);
+                let dist = replica.start_psn_out.distance_to(psn);
                 let idx = dist as usize; // RegisterArray wraps the index
                 if group.num_recv_psn.read(idx) != dist {
                     // The slot has wrapped to a newer write (or was never
                     // scattered): a late ACK from the old occupant must
                     // not count towards the new one's quorum.
                     self.stats.stale_acks_dropped += 1;
-                    return false;
+                    return GatherVerdict::Absorb;
                 }
                 let bit = 1u32 << (u32::from(endpoint) % 32);
                 let seen = group.num_recv.read(idx);
@@ -617,7 +627,7 @@ impl P4ceProgram {
                     // This replica already ACKed this PSN — a duplicate
                     // (retransmitting fabric) adds no new storage.
                     self.stats.duplicate_acks_dropped += 1;
-                    return false;
+                    return GatherVerdict::Absorb;
                 }
                 let now_seen = seen | bit;
                 group.num_recv.write(idx, now_seen);
@@ -634,8 +644,8 @@ impl P4ceProgram {
                         }
                         CreditMode::Passthrough => credits,
                     };
-                    Self::rewrite_ack_for_leader(pkt, group, endpoint, sw_ip);
-                    pkt.aeth = Some(rdma::Aeth {
+                    let mut rw = Self::rewrite_for_leader(group, endpoint, sw_ip, psn);
+                    rw.aeth = Some(Aeth {
                         kind: AethKind::Ack { credits: reported },
                         msn: aeth.msn,
                     });
@@ -653,7 +663,7 @@ impl P4ceProgram {
                             carried: u64::from(credits),
                         });
                     }
-                    true
+                    GatherVerdict::Forward(rw)
                 } else {
                     self.stats.acks_absorbed += 1;
                     tracer.emit(now, || TraceEvent::GatherAck {
@@ -662,14 +672,104 @@ impl P4ceProgram {
                         distinct: u64::from(now_seen.count_ones()),
                         quorum: false,
                     });
-                    false
+                    GatherVerdict::Absorb
                 }
+            }
+        }
+    }
+
+    /// The gather decision for one ACK. Returns `true` if this packet must
+    /// be forwarded to the leader (rewritten in place). Used by the
+    /// egress-ablation path, where the copy is already an owned packet.
+    fn gather(
+        &mut self,
+        pkt: &mut RocePacket,
+        gid: u16,
+        endpoint: u8,
+        sw_ip: Ipv4Addr,
+        now: SimTime,
+        tracer: &Tracer,
+    ) -> bool {
+        let aeth = pkt.aeth.expect("gather input carries AETH");
+        match self.gather_core(pkt.bth.psn, aeth, gid, endpoint, sw_ip, now, tracer) {
+            GatherVerdict::Absorb => false,
+            GatherVerdict::Forward(rw) => {
+                rw.apply(pkt);
+                true
             }
         }
     }
 }
 
+/// What [`P4ceProgram::gather_core`] decided about one ACK.
+enum GatherVerdict {
+    /// Absorb the packet in the switch (not the `f`-th ACK, stale,
+    /// duplicate, or the group is gone).
+    Absorb,
+    /// Forward to the leader after applying these header deltas.
+    Forward(RewriteSet),
+}
+
 impl SwitchProgram for P4ceProgram {
+    fn ingress_view(
+        &mut self,
+        view: &RoceView<'_>,
+        meta: IngressMeta,
+        ops: &dyn PipelineOps,
+    ) -> ViewVerdict {
+        let sw_ip = ops.switch_ip();
+        if view.dst_ip() != sw_ip {
+            // Transit traffic: plain L3 forwarding of the original bytes
+            // (the egress stage would pass such packets through
+            // untouched).
+            return match ops.route(view.dst_ip()) {
+                Some(port) => ViewVerdict::Forward(view.frame().clone(), port),
+                None => ViewVerdict::Drop,
+            };
+        }
+        if view.dest_qp() == CM_QPN {
+            // Control-plane punt needs the owned packet.
+            return ViewVerdict::NeedFullPacket;
+        }
+        if view.opcode() == Opcode::Acknowledge && self.cfg.ack_drop == AckDropStage::Ingress {
+            // The common case at line rate: absorb `n - f` of every `n`
+            // ACKs right here, without materializing a packet. Forwarded
+            // `f`-th ACKs are header-patched onto the original bytes.
+            let Some(&(gid, endpoint)) = self.aggr_table.lookup(&view.dest_qp().masked()) else {
+                return ViewVerdict::Drop;
+            };
+            let aeth = view.aeth().expect("ACK carries AETH");
+            return match self.gather_core(
+                view.psn(),
+                aeth,
+                gid,
+                endpoint,
+                sw_ip,
+                meta.now,
+                ops.tracer(),
+            ) {
+                GatherVerdict::Absorb => ViewVerdict::Drop,
+                GatherVerdict::Forward(rw) => {
+                    let Some(port) = self.groups.get(&gid).and_then(|g| g.leader_port) else {
+                        return ViewVerdict::Drop;
+                    };
+                    // Infallible: an Acknowledge frame carries an AETH and
+                    // every other rewritten field is fixed-offset. Must not
+                    // fall back to NeedFullPacket here — the registers have
+                    // already been bumped, and the full path would bump
+                    // them again.
+                    let frame =
+                        patch_frame(view.frame(), &rw).expect("ACK rewrites are header-patchable");
+                    ViewVerdict::Forward(frame, port)
+                }
+            };
+        }
+        // Writes (scatter) mutate NumRecv and need multicast; the
+        // egress-ablation ACK path needs per-copy egress stages. Both run
+        // the owned pipeline exactly once.
+        ViewVerdict::NeedFullPacket
+    }
+
     fn ingress(
         &mut self,
         pkt: &mut RocePacket,

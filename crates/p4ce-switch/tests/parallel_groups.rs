@@ -57,7 +57,7 @@ impl RdmaApp for Sink {
         &mut self,
         _r: RegionHandle,
         _o: u64,
-        _l: usize,
+        _payload: &Bytes,
         _ops: &mut HostOps<'_, '_>,
     ) {
         self.writes += 1;

@@ -62,10 +62,10 @@ impl RdmaApp for Replica {
         &mut self,
         _r: RegionHandle,
         offset: u64,
-        len: usize,
+        payload: &Bytes,
         _ops: &mut HostOps<'_, '_>,
     ) {
-        self.writes.push((offset, len));
+        self.writes.push((offset, payload.len()));
     }
 }
 

@@ -18,7 +18,7 @@ use netsim::{
     Context, Cpu, Frame, FxHashMap, MetricsRegistry, Node, PortId, RetransmitKind, SimDuration,
     SimTime, TimerToken, TraceEvent, Tracer,
 };
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::net::Ipv4Addr;
 
 use crate::cm::{CmMessage, RejectReason};
@@ -29,7 +29,9 @@ use crate::qp::{
 };
 use crate::types::{MacAddr, Permissions, Psn, Qpn, CM_QPN, DEFAULT_RDMA_MTU};
 use crate::verbs::{Completion, CompletionStatus, WorkRequest, WrId};
-use crate::wire::{Aeth, AethKind, Bth, NakCode, RocePacket};
+use crate::wire::{
+    Aeth, AethKind, Bth, NakCode, PacketTemplate, PayloadCrcCache, RewriteSet, RocePacket,
+};
 
 /// Tunable parameters of a host. Defaults are the calibration constants
 /// derived from the paper (DESIGN.md §2).
@@ -157,15 +159,18 @@ pub trait RdmaApp: 'static {
     }
 
     /// A remote peer wrote into a watched region (see
-    /// [`HostOps::watch_region`]). Offsets are region-relative.
+    /// [`HostOps::watch_region`]). Offsets are region-relative. `payload`
+    /// is the written bytes as a zero-copy slice of the received frame —
+    /// the same bytes `ops.read_local(region, offset, len)` would return,
+    /// without touching the region buffer.
     fn on_remote_write(
         &mut self,
         region: RegionHandle,
         offset: u64,
-        len: usize,
+        payload: &Bytes,
         ops: &mut HostOps<'_, '_>,
     ) {
-        let _ = (region, offset, len, ops);
+        let _ = (region, offset, payload, ops);
     }
 
     /// An application timer armed with [`HostOps::set_app_timer`] fired.
@@ -198,7 +203,7 @@ enum Delivery {
     RemoteWrite {
         region: RegionHandle,
         offset: u64,
-        len: usize,
+        payload: Bytes,
     },
     Nak {
         qpn: Qpn,
@@ -230,6 +235,18 @@ pub struct HostStats {
     /// Request packets dropped because the receive buffer was full (the
     /// damage ignoring credit counts causes).
     pub rx_overflow_drops: u64,
+    /// ACK/NAK frames emitted by patching the per-QP template (the fast
+    /// path: PSN/MSN/syndrome rewrites over cached bytes).
+    pub acks_templated: u64,
+    /// ACK/NAK frames built by full serialization (first ACK on a QP, or
+    /// a structural change that invalidated the template).
+    pub acks_serialized: u64,
+    /// Remote-write payloads delivered to the app as zero-copy slices of
+    /// the received frame.
+    pub rx_zero_copy_deliveries: u64,
+    /// Payload deliveries that required copying into host memory (read
+    /// responses landing in a local region).
+    pub rx_copied_deliveries: u64,
 }
 
 impl HostStats {
@@ -255,6 +272,16 @@ impl HostStats {
             self.timeout_retransmits,
         );
         reg.set_counter(&format!("{prefix}.retransmit.nak"), self.nak_retransmits);
+        reg.set_counter(&format!("{prefix}.ack.templated"), self.acks_templated);
+        reg.set_counter(&format!("{prefix}.ack.serialized"), self.acks_serialized);
+        reg.set_counter(
+            &format!("{prefix}.rx.zero_copy_deliveries"),
+            self.rx_zero_copy_deliveries,
+        );
+        reg.set_counter(
+            &format!("{prefix}.rx.copied_deliveries"),
+            self.rx_copied_deliveries,
+        );
     }
 }
 
@@ -264,13 +291,27 @@ pub struct HostCore {
     mac: MacAddr,
     cpu: Cpu,
     mem: HostMemory,
-    qps: BTreeMap<u32, QueuePair>,
+    qps: FxHashMap<u32, QueuePair>,
+    /// QPNs in ascending order — the deterministic iteration order for
+    /// whole-table sweeps (retransmit scan); point lookups go through the
+    /// hash map.
+    qp_order: Vec<u32>,
     next_qpn: u32,
     psn_state: u64,
     // --- transmit path ---
     tx_fifo: VecDeque<(PortId, Frame)>,
     tx_staged: Option<(PortId, Frame)>,
     tx_last_served: u32,
+    /// QPNs that may have untransmitted posted work: every successful
+    /// [`QueuePair::post`] inserts, [`HostCore::refill_tx`] removes
+    /// entries it observes drained. A superset of the truly-ready set
+    /// (window-closed QPs stay in it), so the round-robin scan touches
+    /// only senders instead of every connection on the host.
+    tx_ready: BTreeSet<u32>,
+    /// Scratch for stale `tx_ready` entries found mid-scan.
+    tx_stale: Vec<u32>,
+    /// Scratch for completed work requests drained from an ACK.
+    ack_done: Vec<(WrId, bool)>,
     /// The port new connections ride on (multi-homed hosts flip this to a
     /// backup path when the primary fabric dies, §V-E "Crashed switch").
     active_port: PortId,
@@ -299,6 +340,9 @@ pub struct HostCore {
     watch_keys: FxHashMap<u32, RegionHandle>,
     // --- retransmission ---
     rt_tick_armed: bool,
+    // --- payload CRC memos (TX serialization / RX ICRC verification) ---
+    tx_payload_crcs: PayloadCrcCache,
+    rx_payload_crcs: PayloadCrcCache,
     /// Counters.
     pub stats: HostStats,
 }
@@ -311,12 +355,16 @@ impl HostCore {
             mac,
             cpu: Cpu::new(),
             mem,
-            qps: BTreeMap::new(),
+            qps: FxHashMap::default(),
+            qp_order: Vec::new(),
             next_qpn: 0x10,
             psn_state: cfg.seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1,
             tx_fifo: VecDeque::new(),
             tx_staged: None,
             tx_last_served: 0,
+            tx_ready: BTreeSet::new(),
+            tx_stale: Vec::new(),
+            ack_done: Vec::new(),
             active_port: PortId::FIRST,
             qp_ports: FxHashMap::default(),
             rx_queue: VecDeque::new(),
@@ -331,6 +379,8 @@ impl HostCore {
             read_landing: FxHashMap::default(),
             watch_keys: FxHashMap::default(),
             rt_tick_armed: false,
+            tx_payload_crcs: PayloadCrcCache::new(),
+            rx_payload_crcs: PayloadCrcCache::new(),
             stats: HostStats::default(),
             cfg,
         }
@@ -350,6 +400,24 @@ impl HostCore {
         q
     }
 
+    fn insert_qp(&mut self, qpn: u32, qp: QueuePair) {
+        if self.qps.insert(qpn, qp).is_none() {
+            let at = self.qp_order.partition_point(|&q| q < qpn);
+            self.qp_order.insert(at, qpn);
+        }
+    }
+
+    fn remove_qp(&mut self, qpn: u32) -> Option<QueuePair> {
+        let removed = self.qps.remove(&qpn);
+        if removed.is_some() {
+            if let Ok(at) = self.qp_order.binary_search(&qpn) {
+                self.qp_order.remove(at);
+            }
+            self.tx_ready.remove(&qpn);
+        }
+        removed
+    }
+
     /// The advertised credit count: free request-buffer slots, clamped to
     /// the 5-bit AETH field.
     fn credits(&self) -> u8 {
@@ -366,9 +434,10 @@ impl HostCore {
             .unwrap_or(self.active_port)
     }
 
-    fn build_frame(&self, qpn: Qpn, plan: &PacketPlan) -> Frame {
-        let qp = &self.qps[&qpn.masked()];
-        let peer = qp.peer().expect("building frame on unconnected QP");
+    fn build_frame(&mut self, qpn: Qpn, plan: &PacketPlan) -> Frame {
+        let peer = self.qps[&qpn.masked()]
+            .peer()
+            .expect("building frame on unconnected QP");
         RocePacket {
             src_mac: self.mac,
             dst_mac: MacAddr::for_ip(peer.ip),
@@ -385,7 +454,10 @@ impl HostCore {
             aeth: None,
             payload: plan.payload.clone(),
         }
-        .to_frame()
+        // Retransmits and multi-replica fan-out re-serialize the same
+        // payload allocation; the cache turns those repeat hashes into a
+        // header-sized CRC plus a GF(2) shift.
+        .to_frame_cached(&mut self.tx_payload_crcs)
     }
 
     fn build_cm_frame(&self, to_ip: Ipv4Addr, msg: &CmMessage) -> Frame {
@@ -438,6 +510,61 @@ impl HostCore {
         .to_frame()
     }
 
+    /// Builds an ACK/NAK frame for `qpn` towards `dst_ip`. The first one
+    /// per QP serializes in full and seeds a [`PacketTemplate`]; every
+    /// later one differs only in destination, PSN and AETH — all
+    /// patchable header fields — so it is stamped from the template with
+    /// a header-sized CRC instead of a full-frame hash.
+    fn build_ack_frame(&mut self, qpn: Qpn, dst_ip: Ipv4Addr, psn: Psn, aeth: Aeth) -> Frame {
+        let qp = self.qps.get(&qpn.masked()).expect("checked");
+        if let Some(t) = qp.ack_template() {
+            // Build the rewrite set directly against the template's base
+            // packet instead of cloning it and diffing — only the fields
+            // that actually moved are patched.
+            let base = t.packet();
+            let mut rw = RewriteSet::default();
+            if base.dst_ip != dst_ip {
+                rw.dst_mac = Some(MacAddr::for_ip(dst_ip));
+                rw.dst_ip = Some(dst_ip);
+            }
+            if base.bth.psn != psn {
+                rw.psn = Some(psn);
+            }
+            if base.aeth != Some(aeth) {
+                rw.aeth = Some(aeth);
+            }
+            if let Ok(frame) = t.stamp(&rw) {
+                self.stats.acks_templated += 1;
+                return frame;
+            }
+        }
+        let peer = qp.peer().expect("responding on unconnected QP");
+        let pkt = RocePacket {
+            src_mac: self.mac,
+            dst_mac: MacAddr::for_ip(dst_ip),
+            src_ip: self.cfg.ip,
+            dst_ip,
+            udp_src_port: 0xC000 | (qpn.masked() as u16 & 0x0fff),
+            bth: Bth {
+                opcode: Opcode::Acknowledge,
+                dest_qp: peer.qpn,
+                psn,
+                ack_req: false,
+            },
+            reth: None,
+            aeth: Some(aeth),
+            payload: Bytes::new(),
+        };
+        let template = PacketTemplate::from_packet(&pkt);
+        let frame = template.frame().clone();
+        self.stats.acks_serialized += 1;
+        self.qps
+            .get_mut(&qpn.masked())
+            .expect("checked")
+            .set_ack_template(template);
+        frame
+    }
+
     fn kick_tx(&mut self, ctx: &mut Context<'_>) {
         if self.tx_staged.is_some() {
             return;
@@ -453,26 +580,39 @@ impl HostCore {
 
     /// Pulls the next ready message from the queue pairs, round-robin over
     /// QPNs for fairness, and stages its packets for transmission.
+    ///
+    /// Only QPNs in [`HostCore::tx_ready`] are visited — a QP absent from
+    /// the set has nothing posted, so `next_message` would decline it
+    /// anyway; skipping it changes nothing but the scan cost. Entries
+    /// observed drained (pending queue empty) are dropped from the set.
     fn refill_tx(&mut self, now: SimTime) {
         // Round-robin from the QPN after the last served one, wrapping —
-        // two ordered range walks, no key snapshot allocation.
+        // two ordered range walks over the candidate set.
         let last = self.tx_last_served;
-        let mut ready = None;
-        for (&qpn, qp) in self.qps.range_mut((last + 1)..) {
-            if let Some(packets) = qp.next_message(now) {
-                ready = Some((qpn, packets));
-                break;
-            }
-        }
-        if ready.is_none() {
-            for (&qpn, qp) in self.qps.range_mut(..=last) {
+        let scan = |tx_ready: &BTreeSet<u32>,
+                    qps: &mut FxHashMap<u32, QueuePair>,
+                    tx_stale: &mut Vec<u32>|
+         -> Option<(u32, Vec<PacketPlan>)> {
+            for &qpn in tx_ready.range(last + 1..).chain(tx_ready.range(..=last)) {
+                let qp = qps.get_mut(&qpn).expect("tx_ready tracks live QPs");
+                if qp.pending_len() == 0 {
+                    tx_stale.push(qpn);
+                    continue;
+                }
                 if let Some(packets) = qp.next_message(now) {
-                    ready = Some((qpn, packets));
-                    break;
+                    return Some((qpn, packets));
                 }
             }
+            None
+        };
+        let ready = scan(&self.tx_ready, &mut self.qps, &mut self.tx_stale);
+        for qpn in self.tx_stale.drain(..) {
+            self.tx_ready.remove(&qpn);
         }
         let Some((qpn, packets)) = ready else { return };
+        if self.qps[&qpn].pending_len() == 0 {
+            self.tx_ready.remove(&qpn);
+        }
         if let Some((wr_id, first_psn, _)) = self.qps[&qpn].newest_inflight() {
             self.cfg.tracer.emit(now, || TraceEvent::WireTx {
                 qpn: u64::from(qpn),
@@ -514,8 +654,8 @@ impl HostCore {
     fn retransmit(&mut self, qpn: Qpn, packets: Vec<PacketPlan>) {
         self.stats.retransmits += packets.len() as u64;
         let port = self.qp_port(qpn);
-        let frames: Vec<Frame> = packets.iter().map(|p| self.build_frame(qpn, p)).collect();
-        for f in frames {
+        for p in &packets {
+            let f = self.build_frame(qpn, p);
             self.tx_fifo.push_back((port, f));
         }
     }
@@ -525,32 +665,43 @@ impl HostCore {
     // --------------------------------------------------------------
 
     fn process_packet(&mut self, port: PortId, frame: Frame, ctx: &mut Context<'_>) {
-        let pkt = match RocePacket::parse(&frame) {
-            Ok(p) => p,
+        // Borrowed header-view parse: acceptance checks run in full, but
+        // no owned packet is materialized until a path needs one. ACKs —
+        // half of all traffic — never materialize at all.
+        let view = match RocePacket::parse_view_cached(&frame, &mut self.rx_payload_crcs) {
+            Ok(v) => v,
             Err(_) => {
                 self.stats.parse_drops += 1;
                 return;
             }
         };
         self.stats.packets_received += 1;
-        if pkt.bth.dest_qp == CM_QPN {
-            self.process_cm(&pkt, port, ctx);
+        let dest_qp = view.dest_qp();
+        if dest_qp == CM_QPN {
+            let src_ip = view.src_ip();
+            let payload = view.payload();
+            self.process_cm(src_ip, &payload, port, ctx);
             return;
         }
-        let Some(qp) = self.qps.get(&pkt.bth.dest_qp.masked()) else {
+        if !self.qps.contains_key(&dest_qp.masked()) {
             return; // no such QP: drop silently (as NICs do for unknown QPNs)
-        };
-        let _ = qp;
+        }
         // Path affinity: a connection follows the path its traffic
         // arrives on.
-        self.qp_ports.insert(pkt.bth.dest_qp.masked(), port);
-        let opcode = pkt.bth.opcode;
+        self.qp_ports.insert(dest_qp.masked(), port);
+        let opcode = view.opcode();
         if opcode.is_write() || opcode == Opcode::ReadRequest {
+            let pkt = view.to_packet();
             self.process_request(pkt, ctx);
         } else if opcode == Opcode::Acknowledge {
-            self.process_ack(pkt, ctx);
+            let psn = view.psn();
+            let aeth = view.aeth().expect("ACK carries AETH");
+            self.process_ack(dest_qp, psn, aeth, ctx);
         } else if opcode == Opcode::ReadResponseOnly {
-            self.process_read_response(pkt, ctx);
+            let psn = view.psn();
+            let aeth = view.aeth().expect("read response carries AETH");
+            let payload = view.payload();
+            self.process_read_response(dest_qp, psn, aeth, payload, ctx);
         }
     }
 
@@ -565,15 +716,14 @@ impl HostCore {
             RecvVerdict::Duplicate => {
                 let credits = self.credits();
                 let msn = self.qps[&qpn.masked()].msn();
-                let frame = self.build_response(
-                    &pkt,
-                    &self.qps[&qpn.masked()],
-                    Opcode::Acknowledge,
+                let frame = self.build_ack_frame(
+                    qpn,
+                    pkt.src_ip,
+                    pkt.bth.psn,
                     Aeth {
                         kind: AethKind::Ack { credits },
                         msn,
                     },
-                    Bytes::new(),
                 );
                 self.stats.acks_sent += 1;
                 self.cfg.tracer.emit(ctx.now, || TraceEvent::AckTx {
@@ -585,7 +735,7 @@ impl HostCore {
                 self.kick_tx(ctx);
             }
             RecvVerdict::OutOfOrder => {
-                self.send_nak(&pkt, qpn, NakCode::PsnSequenceError, ctx);
+                self.send_nak(qpn, pkt.src_ip, pkt.bth.psn, NakCode::PsnSequenceError, ctx);
             }
             RecvVerdict::Execute { ack_due } => {
                 if pkt.bth.opcode == Opcode::ReadRequest {
@@ -605,7 +755,7 @@ impl HostCore {
             (Some(reth), _) => (reth.va, reth.rkey),
             (None, Some(cursor)) => (cursor.va, cursor.rkey),
             (None, None) => {
-                self.send_nak(&pkt, qpn, NakCode::InvalidRequest, ctx);
+                self.send_nak(qpn, pkt.src_ip, pkt.bth.psn, NakCode::InvalidRequest, ctx);
                 return;
             }
         };
@@ -638,29 +788,30 @@ impl HostCore {
             .mem
             .remote_write(pkt.src_ip, qpn, rkey, va, &pkt.payload);
         match result {
-            Ok(()) => {
-                if let Some(&region) = self.watch_keys.get(&rkey.0) {
-                    let base = self.mem.info(region).va;
+            Ok((region, offset)) => {
+                if self.watch_keys.contains_key(&rkey.0) {
+                    // Deliver the written bytes as a zero-copy slice of
+                    // the received frame — no fresh Vec per delivery.
                     let ev = Delivery::RemoteWrite {
                         region,
-                        offset: va - base,
-                        len: pkt.payload.len(),
+                        offset,
+                        payload: pkt.payload.clone(),
                     };
+                    self.stats.rx_zero_copy_deliveries += 1;
                     let cost = self.cfg.reap_cost;
                     self.enqueue_delivery(ev, cost, ctx);
                 }
                 if ack_due {
                     let credits = self.credits();
                     let msn = self.qps[&qpn.masked()].msn();
-                    let frame = self.build_response(
-                        &pkt,
-                        &self.qps[&qpn.masked()],
-                        Opcode::Acknowledge,
+                    let frame = self.build_ack_frame(
+                        qpn,
+                        pkt.src_ip,
+                        pkt.bth.psn,
                         Aeth {
                             kind: AethKind::Ack { credits },
                             msn,
                         },
-                        Bytes::new(),
                     );
                     self.stats.acks_sent += 1;
                     self.cfg.tracer.emit(ctx.now, || TraceEvent::AckTx {
@@ -673,7 +824,13 @@ impl HostCore {
                 }
             }
             Err(_) => {
-                self.send_nak(&pkt, qpn, NakCode::RemoteAccessError, ctx);
+                self.send_nak(
+                    qpn,
+                    pkt.src_ip,
+                    pkt.bth.psn,
+                    NakCode::RemoteAccessError,
+                    ctx,
+                );
             }
         }
     }
@@ -706,48 +863,59 @@ impl HostCore {
                 self.tx_fifo.push_back((port, frame));
                 self.kick_tx(ctx);
             }
-            Err(_) => self.send_nak(&pkt, qpn, NakCode::RemoteAccessError, ctx),
+            Err(_) => self.send_nak(
+                qpn,
+                pkt.src_ip,
+                pkt.bth.psn,
+                NakCode::RemoteAccessError,
+                ctx,
+            ),
         }
     }
 
-    fn send_nak(&mut self, pkt: &RocePacket, qpn: Qpn, code: NakCode, ctx: &mut Context<'_>) {
+    fn send_nak(
+        &mut self,
+        qpn: Qpn,
+        dst_ip: Ipv4Addr,
+        psn: Psn,
+        code: NakCode,
+        ctx: &mut Context<'_>,
+    ) {
         let msn = self.qps[&qpn.masked()].msn();
-        let frame = self.build_response(
-            pkt,
-            &self.qps[&qpn.masked()],
-            Opcode::Acknowledge,
+        let frame = self.build_ack_frame(
+            qpn,
+            dst_ip,
+            psn,
             Aeth {
                 kind: AethKind::Nak(code),
                 msn,
             },
-            Bytes::new(),
         );
         self.stats.naks_sent += 1;
         self.cfg.tracer.emit(ctx.now, || TraceEvent::NakTx {
             qpn: u64::from(qpn.masked()),
-            psn: u64::from(pkt.bth.psn.value()),
+            psn: u64::from(psn.value()),
         });
         let port = self.qp_port(qpn);
         self.tx_fifo.push_back((port, frame));
         self.kick_tx(ctx);
     }
 
-    fn process_ack(&mut self, pkt: RocePacket, ctx: &mut Context<'_>) {
-        let qpn = pkt.bth.dest_qp;
-        let aeth = pkt.aeth.expect("ACK carries AETH");
+    fn process_ack(&mut self, qpn: Qpn, psn: Psn, aeth: Aeth, ctx: &mut Context<'_>) {
         match aeth.kind {
             AethKind::Ack { credits } => {
                 self.cfg.tracer.emit(ctx.now, || TraceEvent::AckRx {
                     qpn: u64::from(qpn.masked()),
-                    psn: u64::from(pkt.bth.psn.value()),
+                    psn: u64::from(psn.value()),
                     credits: u64::from(credits),
                 });
+                let mut done = std::mem::take(&mut self.ack_done);
                 let qp = self.qps.get_mut(&qpn.masked()).expect("checked");
-                let done = qp.handle_ack(pkt.bth.psn, credits);
+                qp.handle_ack_into(psn, credits, &mut done);
                 if done.is_empty() {
-                    qp.note_progress(pkt.bth.psn, ctx.now);
+                    qp.note_progress(psn, ctx.now);
                 }
-                for (wr_id, _is_read) in done {
+                for &(wr_id, _is_read) in &done {
                     self.complete(
                         Completion {
                             qpn,
@@ -758,12 +926,13 @@ impl HostCore {
                         ctx,
                     );
                 }
+                self.ack_done = done;
                 self.kick_tx(ctx); // the window may have reopened
             }
             AethKind::Nak(code) => {
                 self.cfg.tracer.emit(ctx.now, || TraceEvent::NakRx {
                     qpn: u64::from(qpn.masked()),
-                    psn: u64::from(pkt.bth.psn.value()),
+                    psn: u64::from(psn.value()),
                 });
                 // Surface the NAK to the application (P4CE's fallback
                 // trigger) in parallel with transport-level recovery.
@@ -805,18 +974,26 @@ impl HostCore {
         }
     }
 
-    fn process_read_response(&mut self, pkt: RocePacket, ctx: &mut Context<'_>) {
-        let qpn = pkt.bth.dest_qp;
-        let aeth = pkt.aeth.expect("read response carries AETH");
+    fn process_read_response(
+        &mut self,
+        qpn: Qpn,
+        psn: Psn,
+        aeth: Aeth,
+        payload: Bytes,
+        ctx: &mut Context<'_>,
+    ) {
         let AethKind::Ack { credits } = aeth.kind else {
             return;
         };
         let qp = self.qps.get_mut(&qpn.masked()).expect("checked");
-        let done = qp.handle_ack(pkt.bth.psn, credits);
+        let done = qp.handle_ack(psn, credits);
         for (wr_id, is_read) in done {
             if is_read {
                 if let Some((region, offset)) = self.read_landing.remove(&(qpn.masked(), wr_id.0)) {
-                    self.mem.write_local(region, offset, &pkt.payload);
+                    // Read data must land in the caller's region buffer —
+                    // the one delivery that is inherently a copy.
+                    self.mem.write_local(region, offset, &payload);
+                    self.stats.rx_copied_deliveries += 1;
                 }
             }
             self.complete(
@@ -832,8 +1009,14 @@ impl HostCore {
         self.kick_tx(ctx);
     }
 
-    fn process_cm(&mut self, pkt: &RocePacket, port: PortId, ctx: &mut Context<'_>) {
-        let Ok(msg) = CmMessage::decode(&pkt.payload) else {
+    fn process_cm(
+        &mut self,
+        src_ip: Ipv4Addr,
+        payload: &Bytes,
+        port: PortId,
+        ctx: &mut Context<'_>,
+    ) {
+        let Ok(msg) = CmMessage::decode(payload) else {
             self.stats.parse_drops += 1;
             return;
         };
@@ -848,7 +1031,7 @@ impl HostCore {
                 self.deliver_cm(
                     CmEvent::ConnectRequestReceived {
                         handshake_id,
-                        from_ip: pkt.src_ip,
+                        from_ip: src_ip,
                         from_qpn: qpn,
                         start_psn,
                         private_data,
@@ -866,7 +1049,7 @@ impl HostCore {
                     return; // unknown or duplicate reply
                 };
                 let peer = PeerInfo {
-                    ip: pkt.src_ip,
+                    ip: src_ip,
                     qpn: remote_qpn,
                     start_psn,
                 };
@@ -875,14 +1058,14 @@ impl HostCore {
                 }
                 self.qp_ports.insert(local_qpn.masked(), port);
                 let rtu = CmMessage::ReadyToUse { handshake_id };
-                let frame = self.build_cm_frame(pkt.src_ip, &rtu);
+                let frame = self.build_cm_frame(src_ip, &rtu);
                 self.tx_fifo.push_back((port, frame));
                 self.kick_tx(ctx);
                 self.deliver_cm(
                     CmEvent::Connected {
                         handshake_id,
                         qpn: local_qpn,
-                        peer_ip: pkt.src_ip,
+                        peer_ip: src_ip,
                         private_data,
                     },
                     ctx,
@@ -897,7 +1080,7 @@ impl HostCore {
                         CmEvent::Established {
                             handshake_id,
                             qpn: local_qpn,
-                            peer_ip: pkt.src_ip,
+                            peer_ip: src_ip,
                         },
                         ctx,
                     );
@@ -908,7 +1091,7 @@ impl HostCore {
                 reason,
             } => {
                 if let Some(local_qpn) = self.initiated.remove(&handshake_id) {
-                    self.qps.remove(&local_qpn.masked());
+                    self.remove_qp(local_qpn.masked());
                     self.deliver_cm(
                         CmEvent::Rejected {
                             handshake_id,
@@ -1016,7 +1199,7 @@ impl HostOps<'_, '_> {
             self.core.cfg.max_inflight,
         );
         qp.begin_connect();
-        self.core.qps.insert(qpn.masked(), qp);
+        self.core.insert_qp(qpn.masked(), qp);
         let handshake_id = (u64::from(u32::from_be_bytes(self.core.cfg.ip.octets())) << 24)
             | self.core.next_handshake;
         self.core.next_handshake += 1;
@@ -1059,7 +1242,7 @@ impl HostOps<'_, '_> {
             qpn: from_qpn,
             start_psn,
         });
-        self.core.qps.insert(qpn.masked(), qp);
+        self.core.insert_qp(qpn.masked(), qp);
         self.core.responding.insert(handshake_id, qpn);
         let msg = CmMessage::ConnectReply {
             handshake_id,
@@ -1099,7 +1282,7 @@ impl HostOps<'_, '_> {
     /// Tears down a queue pair (e.g. when abandoning a connection after a
     /// fatal error). Outstanding requests flush.
     pub fn destroy_qp(&mut self, qpn: Qpn) {
-        self.core.qps.remove(&qpn.masked());
+        self.core.remove_qp(qpn.masked());
         self.core.qp_ports.remove(&qpn.masked());
     }
 
@@ -1216,6 +1399,7 @@ impl HostOps<'_, '_> {
                     );
                     return;
                 }
+                self.core.tx_ready.insert(qpn.masked());
             }
             None => {
                 self.core.complete(
@@ -1408,8 +1592,8 @@ impl<A: RdmaApp> Node for Host<A> {
                     Delivery::RemoteWrite {
                         region,
                         offset,
-                        len,
-                    } => self.app.on_remote_write(region, offset, len, &mut ops),
+                        payload,
+                    } => self.app.on_remote_write(region, offset, &payload, &mut ops),
                     Delivery::Nak { qpn, code } => self.app.on_nak(qpn, code, &mut ops),
                 }
                 self.maybe_arm_retransmit(ctx);
@@ -1423,7 +1607,10 @@ impl<A: RdmaApp> Node for Host<A> {
                 self.core.rt_tick_armed = false;
                 let timeout = self.core.cfg.retransmit_timeout;
                 let retry_limit = self.core.cfg.retry_limit;
-                let qpns: Vec<u32> = self.core.qps.keys().copied().collect();
+                // Ascending-QPN order (from the maintained index): the
+                // retransmit sweep emits frames, so its order is part of
+                // the deterministic event sequence.
+                let qpns: Vec<u32> = self.core.qp_order.clone();
                 for qpn in qpns {
                     let action = self
                         .core

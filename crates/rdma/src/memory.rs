@@ -222,7 +222,9 @@ impl HostMemory {
     }
 
     /// Executes an incoming one-sided write: validates the key, bounds and
-    /// `peer`'s write permission, then stores `data` at `va`.
+    /// `peer`'s write permission, then stores `data` at `va`. Returns the
+    /// landing region and byte offset within it, so the NIC can report the
+    /// completion without a second key lookup.
     ///
     /// # Errors
     ///
@@ -234,7 +236,7 @@ impl HostMemory {
         rkey: RKey,
         va: u64,
         data: &[u8],
-    ) -> Result<(), AccessError> {
+    ) -> Result<(RegionHandle, u64), AccessError> {
         let (idx, off) = self.locate(rkey, va, data.len() as u64)?;
         let region = &mut self.regions[idx];
         let perms = *region
@@ -250,7 +252,7 @@ impl HostMemory {
             }
         }
         region.buf[off..off + data.len()].copy_from_slice(data);
-        Ok(())
+        Ok((RegionHandle(idx), off as u64))
     }
 
     /// Executes an incoming one-sided read: validates key, bounds and

@@ -15,7 +15,7 @@ use std::net::Ipv4Addr;
 use crate::opcode::Opcode;
 use crate::types::{Psn, Qpn, RKey};
 use crate::verbs::{WorkRequest, WrId};
-use crate::wire::{NakCode, Reth};
+use crate::wire::{NakCode, PacketTemplate, Reth};
 
 /// Lifecycle of a queue pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +130,7 @@ pub struct QueuePair {
     epsn: Psn,
     msn: u32,
     write_cursor: Option<WriteCursor>,
+    ack_template: Option<PacketTemplate>,
 }
 
 impl QueuePair {
@@ -155,6 +156,7 @@ impl QueuePair {
             epsn: Psn::new(0),
             msn: 0,
             write_cursor: None,
+            ack_template: None,
         }
     }
 
@@ -386,8 +388,17 @@ impl QueuePair {
     /// at or before `psn` completes. Returns `(wr_id, was_read)` per
     /// completed message, in order.
     pub fn handle_ack(&mut self, psn: Psn, credits: u8) -> Vec<(WrId, bool)> {
-        self.remote_credits = credits;
         let mut done = Vec::new();
+        self.handle_ack_into(psn, credits, &mut done);
+        done
+    }
+
+    /// [`QueuePair::handle_ack`] draining into a caller-owned buffer, so
+    /// the per-ACK hot path reuses one allocation. `done` is cleared
+    /// first.
+    pub fn handle_ack_into(&mut self, psn: Psn, credits: u8, done: &mut Vec<(WrId, bool)>) {
+        done.clear();
+        self.remote_credits = credits;
         while let Some(front) = self.inflight.front() {
             let completes = front.last_psn == psn || front.last_psn.is_before(psn);
             if !completes {
@@ -396,7 +407,6 @@ impl QueuePair {
             let msg = self.inflight.pop_front().expect("front exists");
             done.push((msg.wr_id, msg.is_read));
         }
-        done
     }
 
     /// Notes transport progress: an intermediate acknowledgement within
@@ -504,6 +514,19 @@ impl QueuePair {
     /// Updates the write cursor after executing a write packet.
     pub fn set_write_cursor(&mut self, cursor: Option<WriteCursor>) {
         self.write_cursor = cursor;
+    }
+
+    /// The cached ACK/NAK frame template for this QP's responder side, if
+    /// one has been built. ACK-class frames to a given peer differ only in
+    /// PSN, MSN and syndrome, so the first full serialization seeds a
+    /// template and later ACKs are stamped out via header patching.
+    pub fn ack_template(&self) -> Option<&PacketTemplate> {
+        self.ack_template.as_ref()
+    }
+
+    /// Seeds (or replaces) the cached ACK template.
+    pub fn set_ack_template(&mut self, template: PacketTemplate) {
+        self.ack_template = Some(template);
     }
 }
 

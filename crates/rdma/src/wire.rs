@@ -231,6 +231,27 @@ impl RocePacket {
     /// Panics if the RETH/AETH presence contradicts the opcode (a
     /// construction bug, not a runtime condition).
     pub fn to_frame(&self) -> Frame {
+        self.serialize(None)
+    }
+
+    /// Like [`RocePacket::to_frame`], but sources the payload term of the
+    /// ICRC from `cache`: when the same payload [`Bytes`] (same allocation
+    /// and range) was serialized before — a retransmission, or one message
+    /// fanned out to several queue pairs — the payload is not re-hashed;
+    /// its cached CRC is stitched to the freshly-hashed header CRC with
+    /// the GF(2) shift operator. Output is bit-identical to `to_frame`.
+    pub fn to_frame_cached(&self, cache: &mut PayloadCrcCache) -> Frame {
+        if self.payload.len() < PAYLOAD_CRC_CACHE_MIN {
+            return self.serialize(None);
+        }
+        let pcrc = cache.payload_crc(&self.payload);
+        self.serialize(Some(pcrc))
+    }
+
+    /// Serialization body shared by [`RocePacket::to_frame`] and
+    /// [`RocePacket::to_frame_cached`]; `payload_crc`, when given, is
+    /// `crc32_raw(0, payload)` and replaces hashing the payload bytes.
+    fn serialize(&self, payload_crc: Option<u32>) -> Frame {
         assert_eq!(
             self.reth.is_some(),
             self.bth.opcode.carries_reth(),
@@ -297,12 +318,26 @@ impl RocePacket {
         // ICRC over pseudo-header + transport headers + payload. Rewriting
         // any covered field (addresses, QPN, PSN, VA, R_key, syndrome)
         // invalidates it — the switch must recompute, as on real hardware.
-        let icrc = icrc_compute(
-            self.src_ip,
-            self.dst_ip,
-            self.udp_src_port,
-            &buf[transport_start..],
-        );
+        let icrc = match payload_crc {
+            Some(pcrc) => {
+                // Headers hashed fresh, the payload term supplied: stitch
+                // the two with the shift operator (CRC linearity; see
+                // `crc32_two_lane_raw` for the identity).
+                let payload_start = buf.len() - self.payload.len();
+                let h = crc32_raw(
+                    CRC32_INIT,
+                    &icrc_pseudo(self.src_ip, self.dst_ip, self.udp_src_port),
+                );
+                let h = crc32_raw(h, &buf[transport_start..payload_start]);
+                !(crc32_shift(h, self.payload.len()) ^ pcrc)
+            }
+            None => icrc_compute(
+                self.src_ip,
+                self.dst_ip,
+                self.udp_src_port,
+                &buf[transport_start..],
+            ),
+        };
         buf.put_u32(icrc);
 
         debug_assert_eq!(buf.len(), total);
@@ -320,12 +355,52 @@ impl RocePacket {
     /// frame that is well-formed IPv4/UDP but not addressed to the RoCE
     /// port yields [`ParseError::NotRoce`].
     pub fn parse(frame: &Frame) -> Result<RocePacket, ParseError> {
+        // Validation lives in parse_view; materialization in to_packet.
+        // Building parse on the view keeps the two in agreement by
+        // construction: they accept exactly the same frames.
+        Ok(RocePacket::parse_view(frame)?.to_packet())
+    }
+
+    /// Validates a frame as RoCE v2 and returns a borrowed header view —
+    /// the same acceptance set as [`RocePacket::parse`] (structure,
+    /// opcode, AETH syndrome, and, on unverified frames, IPv4 checksum
+    /// and ICRC), but no owned struct is materialized: fields are read
+    /// on demand at fixed offsets, and the payload only becomes a
+    /// (zero-copy) [`Bytes`] slice if asked for. This is the RX dispatch
+    /// fast path: most packets need two or three header fields, not a
+    /// twelve-field decode.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RocePacket::parse`], in the same order.
+    pub fn parse_view(frame: &Frame) -> Result<RoceView<'_>, ParseError> {
+        RocePacket::parse_view_inner(frame, None)
+    }
+
+    /// [`RocePacket::parse_view`] with the ICRC payload term sourced from
+    /// `cache` on unverified frames: when the same payload bytes were
+    /// hashed before, only the headers are re-hashed and the terms are
+    /// stitched with the GF(2) shift operator. Accepts and rejects
+    /// exactly the same frames as `parse_view`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RocePacket::parse`].
+    pub fn parse_view_cached<'f>(
+        frame: &'f Frame,
+        cache: &mut PayloadCrcCache,
+    ) -> Result<RoceView<'f>, ParseError> {
+        RocePacket::parse_view_inner(frame, Some(cache))
+    }
+
+    fn parse_view_inner<'f>(
+        frame: &'f Frame,
+        cache: Option<&mut PayloadCrcCache>,
+    ) -> Result<RoceView<'f>, ParseError> {
         let b = &frame.data;
         if b.len() < BASE_OVERHEAD {
             return Err(ParseError::TooShort);
         }
-        let dst_mac = MacAddr(b[0..6].try_into().expect("slice len"));
-        let src_mac = MacAddr(b[6..12].try_into().expect("slice len"));
         let ethertype = u16::from_be_bytes([b[12], b[13]]);
         if ethertype != 0x0800 {
             return Err(ParseError::NotIpv4);
@@ -340,49 +415,25 @@ impl RocePacket {
         if !frame.is_verified() && ipv4_checksum(&ip[..IPV4_LEN]) != 0 {
             return Err(ParseError::BadIpChecksum);
         }
-        let src_ip = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
-        let dst_ip = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
-
         let udp = &b[ETH_LEN + IPV4_LEN..];
-        let udp_src_port = u16::from_be_bytes([udp[0], udp[1]]);
         let udp_dst_port = u16::from_be_bytes([udp[2], udp[3]]);
         if udp_dst_port != ROCE_UDP_PORT {
             return Err(ParseError::NotRoce);
         }
 
-        let transport_start = ETH_LEN + IPV4_LEN + UDP_LEN;
-        let bth_bytes = &b[transport_start..];
-        let opcode_raw = bth_bytes[0];
+        let opcode_raw = b[TRANSPORT_OFF];
         let opcode = Opcode::from_wire(opcode_raw).ok_or(ParseError::BadOpcode(opcode_raw))?;
-        let ack_req = bth_bytes[1] & 0x80 != 0;
-        let dest_qp = Qpn(u32::from_be_bytes([
-            0,
-            bth_bytes[5],
-            bth_bytes[6],
-            bth_bytes[7],
-        ]));
-        let psn = Psn::new(u32::from_be_bytes([
-            0,
-            bth_bytes[9],
-            bth_bytes[10],
-            bth_bytes[11],
-        ]));
 
-        let mut off = transport_start + BTH_LEN;
-        let reth = if opcode.carries_reth() {
+        let mut off = TRANSPORT_OFF + BTH_LEN;
+        if opcode.carries_reth() {
             if b.len() < off + RETH_LEN + ICRC_LEN {
                 return Err(ParseError::TooShort);
             }
-            let va = u64::from_be_bytes(b[off..off + 8].try_into().expect("slice len"));
-            let rkey = RKey(u32::from_be_bytes(
-                b[off + 8..off + 12].try_into().expect("slice len"),
-            ));
-            let dma_len = u32::from_be_bytes(b[off + 12..off + 16].try_into().expect("slice len"));
             off += RETH_LEN;
-            Some(Reth { va, rkey, dma_len })
-        } else {
-            None
-        };
+        }
+        // The AETH is decoded eagerly: its syndrome encoding is part of
+        // the acceptance set (`BadAethSyndrome`), so the view must check
+        // it up front to reject exactly what `parse` rejects.
         let aeth = if opcode.carries_aeth() {
             if b.len() < off + AETH_LEN + ICRC_LEN {
                 return Err(ParseError::TooShort);
@@ -398,7 +449,12 @@ impl RocePacket {
         if b.len() < off + ICRC_LEN {
             return Err(ParseError::TooShort);
         }
-        let payload = frame.data.slice(off..b.len() - ICRC_LEN);
+        let view = RoceView {
+            frame,
+            payload_off: off,
+            opcode,
+            aeth,
+        };
         // Frames whose checksums were stamped by the serializer itself
         // carry a verification hint; recomputing the ICRC over unmodified
         // bytes would reproduce the stored value by definition, so only
@@ -407,33 +463,24 @@ impl RocePacket {
         if !frame.is_verified() {
             let got_icrc =
                 u32::from_be_bytes(b[b.len() - ICRC_LEN..].try_into().expect("slice len"));
-            let want_icrc = icrc_compute(
-                src_ip,
-                dst_ip,
-                udp_src_port,
-                &b[transport_start..b.len() - ICRC_LEN],
+            let h = crc32_raw(
+                CRC32_INIT,
+                &icrc_pseudo(view.src_ip(), view.dst_ip(), view.udp_src_port()),
             );
+            let h = crc32_raw(h, &b[TRANSPORT_OFF..off]);
+            let payload_len = b.len() - off - ICRC_LEN;
+            let pcrc = match cache {
+                Some(cache) if payload_len >= PAYLOAD_CRC_CACHE_MIN => {
+                    cache.payload_crc(&view.payload())
+                }
+                _ => crc32_raw(0, &b[off..b.len() - ICRC_LEN]),
+            };
+            let want_icrc = !(crc32_shift(h, payload_len) ^ pcrc);
             if got_icrc != want_icrc {
                 return Err(ParseError::BadIcrc);
             }
         }
-
-        Ok(RocePacket {
-            src_mac,
-            dst_mac,
-            src_ip,
-            dst_ip,
-            udp_src_port,
-            bth: Bth {
-                opcode,
-                dest_qp,
-                psn,
-                ack_req,
-            },
-            reth,
-            aeth,
-            payload,
-        })
+        Ok(view)
     }
 
     /// Parses a frame and keeps the original bytes alongside the parse as
@@ -450,7 +497,164 @@ impl RocePacket {
             frame: frame.clone(),
             pkt,
             payload_off,
+            header_crc: header_region_crc(&frame.data, payload_off),
         })
+    }
+}
+
+/// A validated, borrowed view of a serialized RoCE v2 frame: every field
+/// [`RocePacket`] carries, readable at its fixed wire offset without
+/// materializing the owned struct. Produced by
+/// [`RocePacket::parse_view`]; a view existing means the frame passed the
+/// full acceptance checks (including checksums where required), so field
+/// reads cannot fail.
+#[derive(Debug, Clone, Copy)]
+pub struct RoceView<'a> {
+    frame: &'a Frame,
+    payload_off: usize,
+    opcode: Opcode,
+    aeth: Option<Aeth>,
+}
+
+impl<'a> RoceView<'a> {
+    /// The frame the view borrows.
+    pub fn frame(&self) -> &'a Frame {
+        self.frame
+    }
+
+    /// Source MAC.
+    pub fn src_mac(&self) -> MacAddr {
+        MacAddr(self.frame.data[6..12].try_into().expect("slice len"))
+    }
+
+    /// Destination MAC.
+    pub fn dst_mac(&self) -> MacAddr {
+        MacAddr(self.frame.data[0..6].try_into().expect("slice len"))
+    }
+
+    /// Source IPv4 address.
+    pub fn src_ip(&self) -> Ipv4Addr {
+        let b = &self.frame.data;
+        Ipv4Addr::new(
+            b[IP_SRC_OFF],
+            b[IP_SRC_OFF + 1],
+            b[IP_SRC_OFF + 2],
+            b[IP_SRC_OFF + 3],
+        )
+    }
+
+    /// Destination IPv4 address.
+    pub fn dst_ip(&self) -> Ipv4Addr {
+        let b = &self.frame.data;
+        Ipv4Addr::new(
+            b[IP_DST_OFF],
+            b[IP_DST_OFF + 1],
+            b[IP_DST_OFF + 2],
+            b[IP_DST_OFF + 3],
+        )
+    }
+
+    /// UDP source port.
+    pub fn udp_src_port(&self) -> u16 {
+        let b = &self.frame.data;
+        u16::from_be_bytes([b[UDP_SPORT_OFF], b[UDP_SPORT_OFF + 1]])
+    }
+
+    /// BTH opcode.
+    pub fn opcode(&self) -> Opcode {
+        self.opcode
+    }
+
+    /// BTH acknowledgement-request flag.
+    pub fn ack_req(&self) -> bool {
+        self.frame.data[TRANSPORT_OFF + 1] & 0x80 != 0
+    }
+
+    /// BTH destination queue pair.
+    pub fn dest_qp(&self) -> Qpn {
+        let b = &self.frame.data;
+        Qpn(u32::from_be_bytes([
+            0,
+            b[BTH_QPN_OFF + 1],
+            b[BTH_QPN_OFF + 2],
+            b[BTH_QPN_OFF + 3],
+        ]))
+    }
+
+    /// BTH packet sequence number.
+    pub fn psn(&self) -> Psn {
+        let b = &self.frame.data;
+        Psn::new(u32::from_be_bytes([
+            0,
+            b[BTH_PSN_OFF + 1],
+            b[BTH_PSN_OFF + 2],
+            b[BTH_PSN_OFF + 3],
+        ]))
+    }
+
+    /// The RETH, decoded on demand (present iff the opcode carries one).
+    pub fn reth(&self) -> Option<Reth> {
+        if !self.opcode.carries_reth() {
+            return None;
+        }
+        let b = &self.frame.data;
+        let va = u64::from_be_bytes(b[EXT_OFF..EXT_OFF + 8].try_into().expect("slice len"));
+        let rkey = RKey(u32::from_be_bytes(
+            b[EXT_OFF + 8..EXT_OFF + 12].try_into().expect("slice len"),
+        ));
+        let dma_len =
+            u32::from_be_bytes(b[EXT_OFF + 12..EXT_OFF + 16].try_into().expect("slice len"));
+        Some(Reth { va, rkey, dma_len })
+    }
+
+    /// The AETH (present iff the opcode carries one; validated at parse).
+    pub fn aeth(&self) -> Option<Aeth> {
+        self.aeth
+    }
+
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.frame.data.len() - self.payload_off - ICRC_LEN
+    }
+
+    /// The payload as a zero-copy slice of the frame bytes.
+    pub fn payload(&self) -> Bytes {
+        self.frame
+            .data
+            .slice(self.payload_off..self.frame.data.len() - ICRC_LEN)
+    }
+
+    /// Materializes the owned packet — identical to what
+    /// [`RocePacket::parse`] would have returned for this frame.
+    pub fn to_packet(&self) -> RocePacket {
+        RocePacket {
+            src_mac: self.src_mac(),
+            dst_mac: self.dst_mac(),
+            src_ip: self.src_ip(),
+            dst_ip: self.dst_ip(),
+            udp_src_port: self.udp_src_port(),
+            bth: Bth {
+                opcode: self.opcode,
+                dest_qp: self.dest_qp(),
+                psn: self.psn(),
+                ack_req: self.ack_req(),
+            },
+            reth: self.reth(),
+            aeth: self.aeth,
+            payload: self.payload(),
+        }
+    }
+
+    /// Builds a [`PacketTemplate`] from the view without re-validating:
+    /// equivalent to [`RocePacket::parse_with_template`] on the same
+    /// frame, minus the second checksum pass.
+    pub fn to_template(&self) -> PacketTemplate {
+        PacketTemplate {
+            frame: self.frame.clone(),
+            pkt: self.to_packet(),
+            payload_off: self.payload_off,
+            header_crc: header_region_crc(&self.frame.data, self.payload_off),
+        }
     }
 }
 
@@ -683,6 +887,19 @@ fn header_region_crc(buf: &[u8], payload_off: usize) -> u32 {
 /// already known), fixing the IPv4 checksum incrementally and folding the
 /// header-CRC delta into the ICRC. Never reads the payload bytes.
 fn patch_in_place(buf: &mut [u8], payload_off: usize, rw: &RewriteSet) -> Result<(), PatchError> {
+    let h_old = header_region_crc(buf, payload_off);
+    patch_in_place_from(buf, payload_off, rw, h_old)
+}
+
+/// [`patch_in_place`] with the pre-patch header CRC supplied by the
+/// caller — templates stamp many copies from one immutable buffer, so
+/// they compute `h_old` once at build time instead of per copy.
+fn patch_in_place_from(
+    buf: &mut [u8],
+    payload_off: usize,
+    rw: &RewriteSet,
+    h_old: u32,
+) -> Result<(), PatchError> {
     let opcode = Opcode::from_wire(buf[TRANSPORT_OFF]).ok_or(PatchError::Malformed)?;
     if (rw.va.is_some() || rw.rkey.is_some()) && !opcode.carries_reth() {
         return Err(PatchError::NoReth);
@@ -690,8 +907,6 @@ fn patch_in_place(buf: &mut [u8], payload_off: usize, rw: &RewriteSet) -> Result
     if rw.aeth.is_some() && !opcode.carries_aeth() {
         return Err(PatchError::NoAeth);
     }
-
-    let h_old = header_region_crc(buf, payload_off);
 
     if let Some(mac) = rw.dst_mac {
         buf[0..6].copy_from_slice(&mac.0);
@@ -788,6 +1003,10 @@ pub struct PacketTemplate {
     frame: Frame,
     pkt: RocePacket,
     payload_off: usize,
+    /// Header-region CRC of `frame` (pseudo-header + transport headers),
+    /// computed once at build time so each stamped copy pays only the
+    /// post-patch header hash.
+    header_crc: u32,
 }
 
 impl PacketTemplate {
@@ -812,17 +1031,121 @@ impl PacketTemplate {
     /// must re-serialize.
     pub fn instantiate(&self, target: &RocePacket) -> Result<Frame, PatchError> {
         let rw = RewriteSet::diff(&self.pkt, target)?;
+        self.stamp(&rw)
+    }
+
+    /// Emits a frame with `rw` patched onto the template bytes — the
+    /// no-diff fast path for callers that already know exactly which
+    /// header fields change (per-QP ACK emission, the switch's scatter
+    /// rewrites). Costs one buffer copy plus one header-sized CRC.
+    ///
+    /// # Errors
+    ///
+    /// As [`patch_frame`]: `rw` must only touch header fields the
+    /// template's opcode carries.
+    pub fn stamp(&self, rw: &RewriteSet) -> Result<Frame, PatchError> {
         if rw.is_empty() {
             // Untouched copy: share the template bytes outright.
             return Ok(self.frame.clone());
         }
         let mut buf = self.frame.data.to_vec();
-        patch_in_place(&mut buf, self.payload_off, &rw)?;
+        patch_in_place_from(&mut buf, self.payload_off, rw, self.header_crc)?;
         if self.frame.is_verified() {
             Ok(Frame::new_verified(Bytes::from(buf)))
         } else {
             Ok(Frame::from(buf))
         }
+    }
+
+    /// Builds a template by serializing `pkt` once. The resulting frame is
+    /// checksum-correct by construction, so it is marked verified and every
+    /// [`PacketTemplate::instantiate`] stamped from it inherits that mark.
+    pub fn from_packet(pkt: &RocePacket) -> PacketTemplate {
+        let frame = pkt.to_frame();
+        let payload_off = frame.data.len() - pkt.payload.len() - ICRC_LEN;
+        let header_crc = header_region_crc(&frame.data, payload_off);
+        PacketTemplate {
+            frame: Frame::new_verified(frame.data),
+            pkt: pkt.clone(),
+            payload_off,
+            header_crc,
+        }
+    }
+}
+
+/// Payloads at or above this length are worth a [`PayloadCrcCache`] probe;
+/// shorter ones hash faster than the lookup costs.
+pub const PAYLOAD_CRC_CACHE_MIN: usize = 64;
+
+const PAYLOAD_CRC_CACHE_SLOTS: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct PayloadCrcSlot {
+    id: u64,
+    start: usize,
+    end: usize,
+    crc: u32,
+}
+
+/// Direct-mapped memo of raw payload CRCs keyed on [`Bytes::identity`].
+///
+/// Retransmits, fan-out replicas and verify-after-serialize all hash the
+/// same immutable payload allocation repeatedly; the identity key (unique
+/// allocation id + range) makes a hit provably byte-equal, so the cached
+/// register can be stitched into a full-frame ICRC with
+/// [`crc32_combine`]-style shifting instead of re-hashing the payload.
+#[derive(Debug)]
+pub struct PayloadCrcCache {
+    slots: [PayloadCrcSlot; PAYLOAD_CRC_CACHE_SLOTS],
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for PayloadCrcCache {
+    fn default() -> Self {
+        PayloadCrcCache {
+            // Allocation id 0 is never issued, so it marks an empty slot.
+            slots: [PayloadCrcSlot {
+                id: 0,
+                start: 0,
+                end: 0,
+                crc: 0,
+            }; PAYLOAD_CRC_CACHE_SLOTS],
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl PayloadCrcCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PayloadCrcCache::default()
+    }
+
+    /// The raw (uninverted, init 0) CRC register of `payload`, cached.
+    pub fn payload_crc(&mut self, payload: &Bytes) -> u32 {
+        let (id, start, end) = payload.identity();
+        let idx = ((id as usize) ^ start) % PAYLOAD_CRC_CACHE_SLOTS;
+        let slot = &mut self.slots[idx];
+        if slot.id == id && slot.start == start && slot.end == end {
+            self.hits += 1;
+            return slot.crc;
+        }
+        let crc = crc32_raw(0, payload);
+        *slot = PayloadCrcSlot {
+            id,
+            start,
+            end,
+            crc,
+        };
+        self.misses += 1;
+        crc
+    }
+
+    /// (hits, misses) since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }
 /// Returns 0 when validating a header whose checksum field is correct.
@@ -848,12 +1171,13 @@ pub fn ipv4_checksum(header: &[u8]) -> u16 {
 const CRC32_POLY: u32 = 0xedb8_8320;
 const CRC32_INIT: u32 = 0xffff_ffff;
 
-/// Slice-by-16 lookup tables: `CRC32_TABLES[k][b]` advances the register
+/// Slice-by-8 lookup tables: `CRC32_TABLES[k][b]` advances the register
 /// past byte `b` followed by `k` zero bytes. Table 0 is the classic
 /// byte-at-a-time table; each further table composes one more zero-byte
-/// step. Identical output to the byte loop, ~8x the throughput.
-const CRC32_TABLES: [[u32; 256]; 16] = {
-    let mut tables = [[0u32; 256]; 16];
+/// step. Identical output to the byte loop; 8 KiB total, half the cache
+/// footprint of the slice-by-16 variant this replaced.
+const CRC32_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -870,7 +1194,7 @@ const CRC32_TABLES: [[u32; 256]; 16] = {
         i += 1;
     }
     let mut t = 1;
-    while t < 16 {
+    while t < 8 {
         let mut i = 0;
         while i < 256 {
             let prev = tables[t - 1][i];
@@ -882,53 +1206,85 @@ const CRC32_TABLES: [[u32; 256]; 16] = {
     tables
 };
 
-/// Advances the raw (unconditioned) CRC register over `data`.
-fn crc32_raw(init: u32, data: &[u8]) -> u32 {
+/// One 8-byte table step: folds `chunk` (exactly 8 bytes) into register
+/// `c` via eight table lookups with no serial dependency between them —
+/// the latency chain is one XOR into `q0` plus the final XOR tree.
+#[inline(always)]
+fn crc32_step8(c: u32, chunk: &[u8]) -> u32 {
     let t = &CRC32_TABLES;
+    let q0 = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
+    let q1 = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+    t[7][(q0 & 0xff) as usize]
+        ^ t[6][((q0 >> 8) & 0xff) as usize]
+        ^ t[5][((q0 >> 16) & 0xff) as usize]
+        ^ t[4][(q0 >> 24) as usize]
+        ^ t[3][(q1 & 0xff) as usize]
+        ^ t[2][((q1 >> 8) & 0xff) as usize]
+        ^ t[1][((q1 >> 16) & 0xff) as usize]
+        ^ t[0][(q1 >> 24) as usize]
+}
+
+/// Slice-by-8 kernel: advances the raw register 8 bytes per step, byte
+/// tail for the remainder. Exposed (with raw-register semantics: no init
+/// or final conditioning) for differential tests and microbenchmarks.
+pub fn crc32_slice8_raw(init: u32, data: &[u8]) -> u32 {
     let mut c = init;
-    let mut chunks = data.chunks_exact(16);
+    let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
-        let q0 = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
-        let q1 = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
-        let q2 = u32::from_le_bytes([chunk[8], chunk[9], chunk[10], chunk[11]]);
-        let q3 = u32::from_le_bytes([chunk[12], chunk[13], chunk[14], chunk[15]]);
-        c = t[15][(q0 & 0xff) as usize]
-            ^ t[14][((q0 >> 8) & 0xff) as usize]
-            ^ t[13][((q0 >> 16) & 0xff) as usize]
-            ^ t[12][(q0 >> 24) as usize]
-            ^ t[11][(q1 & 0xff) as usize]
-            ^ t[10][((q1 >> 8) & 0xff) as usize]
-            ^ t[9][((q1 >> 16) & 0xff) as usize]
-            ^ t[8][(q1 >> 24) as usize]
-            ^ t[7][(q2 & 0xff) as usize]
-            ^ t[6][((q2 >> 8) & 0xff) as usize]
-            ^ t[5][((q2 >> 16) & 0xff) as usize]
-            ^ t[4][(q2 >> 24) as usize]
-            ^ t[3][(q3 & 0xff) as usize]
-            ^ t[2][((q3 >> 8) & 0xff) as usize]
-            ^ t[1][((q3 >> 16) & 0xff) as usize]
-            ^ t[0][(q3 >> 24) as usize];
+        c = crc32_step8(c, chunk);
     }
-    let mut rest = chunks.remainder();
-    if rest.len() >= 8 {
-        // One 8-byte step using the upper half of the same tables
-        // (table[k] advances past a byte followed by k zeros).
-        let q0 = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) ^ c;
-        let q1 = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
-        c = t[7][(q0 & 0xff) as usize]
-            ^ t[6][((q0 >> 8) & 0xff) as usize]
-            ^ t[5][((q0 >> 16) & 0xff) as usize]
-            ^ t[4][(q0 >> 24) as usize]
-            ^ t[3][(q1 & 0xff) as usize]
-            ^ t[2][((q1 >> 8) & 0xff) as usize]
-            ^ t[1][((q1 >> 16) & 0xff) as usize]
-            ^ t[0][(q1 >> 24) as usize];
-        rest = &rest[8..];
-    }
-    for &b in rest {
-        c = t[0][((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    for &b in chunks.remainder() {
+        c = CRC32_TABLES[0][((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
     }
     c
+}
+
+/// Byte length above which [`crc32_raw`] switches to the two-lane kernel.
+/// Below this the [`crc32_shift`] stitch costs more than the instruction-
+/// level parallelism buys back.
+const TWO_LANE_CUTOVER: usize = 128;
+
+/// Two-lane interleaved kernel: splits the input into two equal
+/// 8-byte-aligned lanes processed in one interleaved loop — two
+/// independent dependency chains, so the table-load latency of one lane
+/// hides behind the other — then stitches the lanes back together with
+/// the GF(2) [`crc32_combine`] operator and finishes the tail with the
+/// slice-by-8 kernel.
+///
+/// Lane B starts from register 0, which is what makes the stitch exact:
+/// the raw register is affine in (init, data), so
+/// `raw(init, A ∥ B) = shift(raw(init, A), |B|) ^ raw(0, B)`, which is
+/// `crc32_combine(raw(init, A), raw(0, B), |B|)` verbatim. Exposed (raw
+/// register semantics) for differential tests and microbenchmarks.
+pub fn crc32_two_lane_raw(init: u32, data: &[u8]) -> u32 {
+    let half = (data.len() / 2) & !7;
+    if half == 0 {
+        return crc32_slice8_raw(init, data);
+    }
+    let (a, rest) = data.split_at(half);
+    let (b, tail) = rest.split_at(half);
+    let mut ca = init;
+    let mut cb = 0u32;
+    let mut ia = a.chunks_exact(8);
+    let mut ib = b.chunks_exact(8);
+    for (ka, kb) in (&mut ia).zip(&mut ib) {
+        ca = crc32_step8(ca, ka);
+        cb = crc32_step8(cb, kb);
+    }
+    debug_assert!(ia.remainder().is_empty() && ib.remainder().is_empty());
+    let c = crc32_combine(ca, cb, half);
+    crc32_slice8_raw(c, tail)
+}
+
+/// Advances the raw (unconditioned) CRC register over `data`, dispatching
+/// to the two-lane kernel when the input is long enough to amortize the
+/// lane stitch.
+fn crc32_raw(init: u32, data: &[u8]) -> u32 {
+    if data.len() >= TWO_LANE_CUTOVER {
+        crc32_two_lane_raw(init, data)
+    } else {
+        crc32_slice8_raw(init, data)
+    }
 }
 
 /// The CRC-32 of `data` (init and final XOR `0xffff_ffff`, as in zlib).

@@ -76,10 +76,10 @@ impl RdmaApp for Server {
         &mut self,
         _region: RegionHandle,
         offset: u64,
-        len: usize,
+        payload: &Bytes,
         _ops: &mut HostOps<'_, '_>,
     ) {
-        self.writes_seen.push((offset, len));
+        self.writes_seen.push((offset, payload.len()));
     }
 }
 

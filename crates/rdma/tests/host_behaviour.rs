@@ -54,7 +54,7 @@ impl RdmaApp for Acceptor {
         &mut self,
         _r: RegionHandle,
         _o: u64,
-        _l: usize,
+        _payload: &Bytes,
         _ops: &mut HostOps<'_, '_>,
     ) {
         self.writes += 1;

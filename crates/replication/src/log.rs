@@ -67,25 +67,39 @@ pub enum Decoded {
     Torn,
 }
 
-/// Decodes the entry at `offset` in `log`.
-///
-/// # Errors
-///
-/// Returns [`LogError::Corrupt`] if bytes are present but do not start
-/// with the entry magic.
-pub fn decode_at(log: &[u8], offset: usize) -> Result<Decoded, LogError> {
+/// Result of locating an entry at some log offset without materializing
+/// its payload: the payload is described as a byte range within the
+/// buffer, so the caller chooses between copying ([`decode_at`]) and
+/// zero-copy slicing ([`LogReader::drain_payload`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Span {
+    /// A complete entry: sequence number, payload byte range, and the
+    /// offset just past the entry.
+    Entry {
+        seq: u64,
+        payload: std::ops::Range<usize>,
+        next: usize,
+    },
+    /// Nothing written here (yet).
+    Empty,
+    /// An entry header is present but the canary has not landed.
+    Torn,
+}
+
+/// Locates (without copying) the entry at `offset` in `log`.
+fn decode_span(log: &[u8], offset: usize) -> Result<Span, LogError> {
     if offset + 4 > log.len() {
-        return Ok(Decoded::Empty);
+        return Ok(Span::Empty);
     }
     let magic = u16::from_be_bytes([log[offset], log[offset + 1]]);
     if magic == 0 {
-        return Ok(Decoded::Empty);
+        return Ok(Span::Empty);
     }
     // A half-delivered header: the first magic byte has landed on
     // zero-initialized memory, the second has not. Tail packets are in
     // flight — wait, exactly as for a missing canary.
     if magic == u16::from_be_bytes([ENTRY_MAGIC.to_be_bytes()[0], 0]) {
-        return Ok(Decoded::Torn);
+        return Ok(Span::Torn);
     }
     if magic != ENTRY_MAGIC {
         return Err(LogError::Corrupt { offset });
@@ -95,14 +109,37 @@ pub fn decode_at(log: &[u8], offset: usize) -> Result<Decoded, LogError> {
     if end > log.len() {
         // The length field may itself be mid-delivery; without a canary
         // in bounds there is nothing safe to consume yet.
-        return Ok(Decoded::Torn);
+        return Ok(Span::Torn);
     }
     if log[end - 1] != ENTRY_CANARY {
-        return Ok(Decoded::Torn);
+        return Ok(Span::Torn);
     }
     let seq = u64::from_be_bytes(log[offset + 4..offset + 12].try_into().expect("length"));
-    let payload = Bytes::copy_from_slice(&log[offset + 12..end - 1]);
-    Ok(Decoded::Entry(LogEntry { seq, payload }, end))
+    Ok(Span::Entry {
+        seq,
+        payload: offset + 12..end - 1,
+        next: end,
+    })
+}
+
+/// Decodes the entry at `offset` in `log`.
+///
+/// # Errors
+///
+/// Returns [`LogError::Corrupt`] if bytes are present but do not start
+/// with the entry magic.
+pub fn decode_at(log: &[u8], offset: usize) -> Result<Decoded, LogError> {
+    Ok(match decode_span(log, offset)? {
+        Span::Entry { seq, payload, next } => Decoded::Entry(
+            LogEntry {
+                seq,
+                payload: Bytes::copy_from_slice(&log[payload]),
+            },
+            next,
+        ),
+        Span::Empty => Decoded::Empty,
+        Span::Torn => Decoded::Torn,
+    })
 }
 
 /// Append-side bookkeeping for the leader.
@@ -237,6 +274,61 @@ impl LogReader {
                         return Err(e);
                     }
                     break; // deliver what we have; the error resurfaces next call
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drains complete entries directly out of a delivered write payload,
+    /// zero-copy: each entry's payload is a [`Bytes::slice`] of `payload`
+    /// rather than a fresh copy out of the log region.
+    ///
+    /// `at` is the region offset the payload landed at. The fast path
+    /// applies only while the reader's offset lies inside the delivered
+    /// range; entries that continue past the payload's end (or a reader
+    /// positioned elsewhere, e.g. after a leader change) simply drain
+    /// nothing here — callers follow up with [`LogReader::drain`] over
+    /// the region, which yields exactly the remaining entries because the
+    /// region bytes at these offsets are the delivered payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`LogReader::drain`]: corruption at the first undrained
+    /// position, with already-decoded entries preserved.
+    pub fn drain_payload(&mut self, payload: &Bytes, at: usize) -> Result<Vec<LogEntry>, LogError> {
+        let mut out = Vec::new();
+        if self.offset < at || self.offset > at + payload.len() {
+            return Ok(out);
+        }
+        loop {
+            match decode_span(payload, self.offset - at) {
+                Ok(Span::Entry {
+                    seq,
+                    payload: range,
+                    next,
+                }) => {
+                    out.push(LogEntry {
+                        seq,
+                        payload: payload.slice(range),
+                    });
+                    self.offset = at + next;
+                    self.consumed += 1;
+                }
+                Ok(Span::Empty | Span::Torn) => break,
+                Err(LogError::Corrupt { offset }) => {
+                    if out.is_empty() {
+                        return Err(LogError::Corrupt {
+                            offset: at + offset,
+                        });
+                    }
+                    break; // deliver what we have; the error resurfaces next call
+                }
+                Err(e) => {
+                    if out.is_empty() {
+                        return Err(e);
+                    }
+                    break;
                 }
             }
         }
@@ -423,6 +515,64 @@ mod tests {
         assert_eq!(a2, 0);
         assert_eq!(e2.seq, 2);
         assert_eq!(w.wraps(), 1);
+    }
+
+    #[test]
+    fn drain_payload_matches_region_drain() {
+        let mut w = LogWriter::new(1024);
+        let mut log = vec![0u8; 1024];
+        let mut delivered = Vec::new();
+        for i in 0..4u8 {
+            let (_e, bytes, at) = w.append(Bytes::from(vec![i; 20])).expect("space");
+            log[at..at + bytes.len()].copy_from_slice(&bytes);
+            delivered.push((Bytes::copy_from_slice(&bytes), at));
+        }
+        let mut fast = LogReader::new();
+        let mut slow = LogReader::new();
+        let mut fast_entries = Vec::new();
+        for (payload, at) in &delivered {
+            fast_entries.extend(fast.drain_payload(payload, *at).expect("clean"));
+        }
+        let slow_entries = slow.drain(&log).expect("clean");
+        assert_eq!(fast_entries, slow_entries);
+        assert_eq!(fast.offset(), slow.offset());
+        assert_eq!(fast.consumed(), slow.consumed());
+        // Entry payloads are zero-copy slices of the delivered write.
+        let (first_payload, _) = &delivered[0];
+        let (id, _, _) = first_payload.identity();
+        assert_eq!(fast_entries[0].payload.identity().0, id);
+    }
+
+    #[test]
+    fn drain_payload_skips_when_reader_is_elsewhere() {
+        let mut w = LogWriter::new(1024);
+        let (_e, bytes, at) = w.append(Bytes::from_static(b"value")).expect("space");
+        assert_eq!(at, 0);
+        let payload = Bytes::copy_from_slice(&bytes);
+        let mut r = LogReader::new();
+        // Reader ahead of the delivered range (duplicate delivery).
+        r.offset = bytes.len();
+        assert!(r.drain_payload(&payload, 0).expect("clean").is_empty());
+        // Reader far behind a delivery that landed past its position.
+        let mut r2 = LogReader::new();
+        assert!(r2.drain_payload(&payload, 512).expect("clean").is_empty());
+        assert_eq!(r2.offset(), 0);
+    }
+
+    #[test]
+    fn drain_payload_leaves_torn_tail_for_region_drain() {
+        let mut w = LogWriter::new(1024);
+        let (_e1, b1, a1) = w.append(Bytes::from(vec![1u8; 10])).expect("space");
+        let (_e2, b2, _a2) = w.append(Bytes::from(vec![2u8; 10])).expect("space");
+        // One delivery carries entry 1 plus only half of entry 2.
+        let mut joined = b1.to_vec();
+        joined.extend_from_slice(&b2[..b2.len() / 2]);
+        let payload = Bytes::from(joined);
+        let mut r = LogReader::new();
+        let got = r.drain_payload(&payload, a1).expect("clean");
+        assert_eq!(got.len(), 1);
+        assert_eq!(r.consumed(), 1);
+        assert_eq!(r.offset(), b1.len());
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod table;
 pub use mcast::{McastMember, MulticastGroupId, MulticastGroups};
 pub use program::{
     ControlOps, EgressMeta, IngressMeta, IngressVerdict, L3Forwarder, PipelineOps, SwitchProgram,
+    ViewVerdict,
 };
 pub use registers::{identity_hash, RegisterArray};
 pub use switch::{Switch, SwitchConfig, SwitchStats};

@@ -1,8 +1,8 @@
 //! The switch-program interface: what a P4 program looks like to this
 //! pipeline model.
 
-use netsim::{PortId, SimTime, Tracer};
-use rdma::RocePacket;
+use netsim::{Frame, PortId, SimTime, Tracer};
+use rdma::{RocePacket, RoceView};
 use std::net::Ipv4Addr;
 
 use crate::mcast::MulticastGroupId;
@@ -41,6 +41,23 @@ pub enum IngressVerdict {
     /// Drop. On Tofino this consumes only the *ingress* parser of the
     /// arriving port — the optimization §IV-D describes for ACKs.
     Drop,
+}
+
+/// The fast-path routing decision a program can take from a borrowed
+/// header view, before any owned packet exists.
+#[derive(Debug, Clone)]
+pub enum ViewVerdict {
+    /// Emit `Frame` through the port: the bytes are final (either the
+    /// original frame shared as-is, or one already patched via
+    /// [`rdma::patch_frame`]). Programs may only return this when their
+    /// `egress` stage would pass the copy through unchanged — the fast
+    /// path skips it.
+    Forward(Frame, PortId),
+    /// Drop, consuming only the ingress parser (§IV-D).
+    Drop,
+    /// This packet needs the full parse/template machinery (multicast,
+    /// CPU punt, header rewrites the view cannot express).
+    NeedFullPacket,
 }
 
 /// Read-only facilities available to the data-plane stages.
@@ -90,6 +107,23 @@ pub trait SwitchProgram: 'static {
         let _ = ops;
     }
 
+    /// Fast-path ingress over a borrowed header view: runs before the
+    /// owned packet is materialized. Returning
+    /// [`ViewVerdict::Forward`]/[`ViewVerdict::Drop`] here skips the
+    /// template build, the owned-packet clone *and* the egress stage, so
+    /// it must be behaviourally identical to what `ingress` + `egress`
+    /// would have produced for this packet. The default punts everything
+    /// to the full pipeline.
+    fn ingress_view(
+        &mut self,
+        view: &RoceView<'_>,
+        meta: IngressMeta,
+        ops: &dyn PipelineOps,
+    ) -> ViewVerdict {
+        let _ = (view, meta, ops);
+        ViewVerdict::NeedFullPacket
+    }
+
     /// The ingress pipeline: may rewrite the packet and must return a
     /// verdict.
     fn ingress(
@@ -124,6 +158,19 @@ pub trait SwitchProgram: 'static {
 pub struct L3Forwarder;
 
 impl SwitchProgram for L3Forwarder {
+    fn ingress_view(
+        &mut self,
+        view: &RoceView<'_>,
+        _meta: IngressMeta,
+        ops: &dyn PipelineOps,
+    ) -> ViewVerdict {
+        // Pure forwarding rewrites nothing: share the original bytes.
+        match ops.route(view.dst_ip()) {
+            Some(port) => ViewVerdict::Forward(view.frame().clone(), port),
+            None => ViewVerdict::Drop,
+        }
+    }
+
     fn ingress(
         &mut self,
         pkt: &mut RocePacket,

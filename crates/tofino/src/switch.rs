@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use crate::mcast::{McastMember, MulticastGroupId, MulticastGroups};
 use crate::program::{
-    ControlOps, EgressMeta, IngressMeta, IngressVerdict, PipelineOps, SwitchProgram,
+    ControlOps, EgressMeta, IngressMeta, IngressVerdict, PipelineOps, SwitchProgram, ViewVerdict,
 };
 
 /// Static parameters of the switch.
@@ -109,6 +109,10 @@ struct PacketLane {
 enum Stashed {
     RawFrame(Frame, PortId),
     AtEgress(PacketLane, PortId, u16),
+    /// View fast path: final bytes already decided at ingress; the frame
+    /// rides the same egress-parser timing but skips the program's
+    /// egress stage and the template machinery entirely.
+    RawForward(Frame, PortId),
     ForCpu(RocePacket),
 }
 
@@ -259,20 +263,38 @@ impl<P: SwitchProgram> Switch<P> {
     }
 
     fn run_ingress(&mut self, frame: Frame, port: PortId, ctx: &mut Context<'_>) {
-        // Parse once, keeping the original bytes as the template every
-        // copy of this packet is later stamped from.
-        let template = match RocePacket::parse_with_template(&frame) {
-            Ok(t) => Arc::new(t),
-            Err(_) => {
-                self.shared.stats.parse_errors += 1;
-                return;
-            }
-        };
-        let mut pkt = template.packet().clone();
         let meta = IngressMeta {
             ingress_port: port,
             now: ctx.now,
         };
+        // Parse as a borrowed view first: full acceptance checks, no
+        // owned packet. Programs that can decide from header fields alone
+        // (pure forwarding, ACK absorption) short-circuit here; only
+        // NeedFullPacket pays for the template + owned clone.
+        let template = {
+            let view = match RocePacket::parse_view(&frame) {
+                Ok(v) => v,
+                Err(_) => {
+                    self.shared.stats.parse_errors += 1;
+                    return;
+                }
+            };
+            match self.program.ingress_view(&view, meta, &self.shared) {
+                ViewVerdict::Drop => {
+                    self.shared.stats.dropped_ingress += 1;
+                    return;
+                }
+                ViewVerdict::Forward(out_frame, out) => {
+                    let id = self.stash_put(Stashed::RawForward(out_frame, out));
+                    ctx.schedule(self.shared.cfg.pipeline_latency, TimerToken(TK_EGRESS | id));
+                    return;
+                }
+                // The view already validated the frame; build the
+                // template without a second checksum pass.
+                ViewVerdict::NeedFullPacket => Arc::new(view.to_template()),
+            }
+        };
+        let mut pkt = template.packet().clone();
         let verdict = self.program.ingress(&mut pkt, meta, &self.shared);
         match verdict {
             IngressVerdict::Drop => {
@@ -346,8 +368,14 @@ impl<P: SwitchProgram> Node for Switch<P> {
                 self.run_ingress(frame, port, ctx);
             }
             TK_EGRESS => {
-                let Some(Stashed::AtEgress(lane, port, rid)) = self.stash_take(data) else {
-                    return;
+                let (stashed, port) = match self.stash_take(data) {
+                    Some(Stashed::AtEgress(lane, port, rid)) => {
+                        (Stashed::AtEgress(lane, port, rid), port)
+                    }
+                    Some(Stashed::RawForward(frame, port)) => {
+                        (Stashed::RawForward(frame, port), port)
+                    }
+                    _ => return,
                 };
                 let parser = &mut self.egress_parsers[port.index()];
                 match Self::parser_admit(parser, ctx.now, &self.shared.cfg) {
@@ -355,40 +383,49 @@ impl<P: SwitchProgram> Node for Switch<P> {
                         self.shared.stats.parser_overflow_drops += 1;
                     }
                     Some(done) => {
-                        let id = self.stash_put(Stashed::AtEgress(lane, port, rid));
+                        let id = self.stash_put(stashed);
                         ctx.schedule_at(done, TimerToken(TK_EMIT | id));
                     }
                 }
             }
             TK_EMIT => {
-                let Some(Stashed::AtEgress(mut lane, port, rid)) = self.stash_take(data) else {
-                    return;
-                };
-                let meta = EgressMeta {
-                    egress_port: port,
-                    rid,
-                    now: ctx.now,
-                };
-                if self.program.egress(&mut lane.pkt, meta, &self.shared) {
-                    self.shared.stats.forwarded += 1;
-                    // The deparser stamps whatever headers the pipeline
-                    // stages rewrote onto the original bytes, fixing the
-                    // checksums incrementally; only a structural change
-                    // (different opcode, extension set or length) costs a
-                    // full re-serialization.
-                    let frame = match lane.template.instantiate(&lane.pkt) {
-                        Ok(f) => {
-                            self.shared.stats.emitted_patched += 1;
-                            f
+                match self.stash_take(data) {
+                    Some(Stashed::AtEgress(mut lane, port, rid)) => {
+                        let meta = EgressMeta {
+                            egress_port: port,
+                            rid,
+                            now: ctx.now,
+                        };
+                        if self.program.egress(&mut lane.pkt, meta, &self.shared) {
+                            self.shared.stats.forwarded += 1;
+                            // The deparser stamps whatever headers the pipeline
+                            // stages rewrote onto the original bytes, fixing the
+                            // checksums incrementally; only a structural change
+                            // (different opcode, extension set or length) costs a
+                            // full re-serialization.
+                            let frame = match lane.template.instantiate(&lane.pkt) {
+                                Ok(f) => {
+                                    self.shared.stats.emitted_patched += 1;
+                                    f
+                                }
+                                Err(_) => {
+                                    self.shared.stats.emitted_reserialized += 1;
+                                    lane.pkt.to_frame()
+                                }
+                            };
+                            ctx.send(port, frame);
+                        } else {
+                            self.shared.stats.dropped_egress += 1;
                         }
-                        Err(_) => {
-                            self.shared.stats.emitted_reserialized += 1;
-                            lane.pkt.to_frame()
-                        }
-                    };
-                    ctx.send(port, frame);
-                } else {
-                    self.shared.stats.dropped_egress += 1;
+                    }
+                    Some(Stashed::RawForward(frame, port)) => {
+                        // Bytes were final at ingress; the copy consumed
+                        // the egress parser like any other and ships as-is.
+                        self.shared.stats.forwarded += 1;
+                        self.shared.stats.emitted_patched += 1;
+                        ctx.send(port, frame);
+                    }
+                    _ => (),
                 }
             }
             TK_CPU => {

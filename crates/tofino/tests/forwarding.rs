@@ -80,10 +80,10 @@ impl RdmaApp for Target {
         &mut self,
         _r: RegionHandle,
         _off: u64,
-        len: usize,
+        payload: &Bytes,
         _ops: &mut HostOps<'_, '_>,
     ) {
-        self.bytes_written += len;
+        self.bytes_written += payload.len();
     }
 }
 

@@ -66,11 +66,11 @@ impl RdmaApp for Collector {
         &mut self,
         _r: RegionHandle,
         _off: u64,
-        len: usize,
+        payload: &Bytes,
         _ops: &mut HostOps<'_, '_>,
     ) {
         self.frames += 1;
-        self.bytes += len;
+        self.bytes += payload.len();
     }
 }
 

@@ -1,18 +1,42 @@
 #!/usr/bin/env bash
-# Benchmark trajectory: criterion microbenches for the packet codec and
-# the switch/simulator hot loops, then the timed experiment sweeps
-# (sequential vs parallel runner, outputs asserted identical), written to
-# BENCH_3.json at the repo root, the tracing-overhead comparison
-# (sink disabled vs enabled, outcomes asserted identical) written to
-# BENCH_5.json, and the event-engine scorecard (rates + overhead vs the
-# pre-overhaul baselines) written to BENCH_6.json.
+# Benchmark trajectory: criterion microbenches for the packet codec, the
+# per-packet hot-path kernels and the switch/simulator hot loops, then
+# the timed experiment sweeps (sequential vs parallel runner, outputs
+# asserted identical), written to BENCH_3.json at the repo root, the
+# tracing-overhead comparison (sink disabled vs enabled, outcomes
+# asserted identical) written to BENCH_5.json, the event-engine
+# scorecard (rates + overhead vs the pre-overhaul baselines) written to
+# BENCH_6.json, and the hot-path kernel scorecard (per-stage ns + event
+# rate vs the pre-kernel-overhaul baseline) written to BENCH_8.json.
 #
-#   ./scripts/bench.sh           # criterion smoke + BENCH_3/5/6.json
+#   ./scripts/bench.sh                      # criterion smoke + BENCH_3/5/6/8.json
+#   ./scripts/bench.sh --seed 7 --iters 50000
+#
+# --seed N   overrides the simulation seed of the timed points
+# --iters N  overrides the microbench iteration count
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+TRAJECTORY_ARGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --seed|--iters)
+      [[ $# -ge 2 ]] || { echo "error: $1 takes a value" >&2; exit 2; }
+      TRAJECTORY_ARGS+=("$1" "$2")
+      shift 2
+      ;;
+    *)
+      echo "error: unknown argument $1 (supported: --seed N, --iters N)" >&2
+      exit 2
+      ;;
+  esac
+done
+
 echo "==> criterion: wire_codec (serialize/parse/patch)"
 cargo bench -p p4ce-bench --bench wire_codec
+
+echo "==> criterion: hotpath_kernels (crc/rx-deliver/ack/parse)"
+cargo bench -p p4ce-bench --bench hotpath_kernels
 
 echo "==> criterion: sim_consensus (whole-cluster event loop)"
 cargo bench -p p4ce-bench --bench sim_consensus
@@ -20,7 +44,7 @@ cargo bench -p p4ce-bench --bench sim_consensus
 echo "==> criterion: switch_registers (scatter/gather primitives)"
 cargo bench -p p4ce-bench --bench switch_registers
 
-echo "==> timed sweeps -> BENCH_3.json, trace overhead -> BENCH_5.json, scorecard -> BENCH_6.json"
-cargo run --release -p p4ce-bench --bin bench_trajectory
+echo "==> timed sweeps -> BENCH_3.json, trace overhead -> BENCH_5.json, scorecards -> BENCH_6.json, BENCH_8.json"
+cargo run --release -p p4ce-bench --bin bench_trajectory -- "${TRAJECTORY_ARGS[@]+"${TRAJECTORY_ARGS[@]}"}"
 
-echo "bench: BENCH_3.json, BENCH_5.json and BENCH_6.json written"
+echo "bench: BENCH_3.json, BENCH_5.json, BENCH_6.json and BENCH_8.json written"

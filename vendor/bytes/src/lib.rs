@@ -12,7 +12,30 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Monotonic id stamped on every fresh allocation. Ids are never reused
+/// (a `u64` cannot wrap in practice), so `(id, range)` identifies byte
+/// content for the lifetime of the process — unlike a raw pointer, which
+/// the allocator may hand out again after a free.
+static NEXT_ALLOC_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The shared allocation behind one or more [`Bytes`] views.
+#[derive(Debug, Default)]
+struct Shared {
+    id: u64,
+    buf: Vec<u8>,
+}
+
+impl Shared {
+    fn new(buf: Vec<u8>) -> Self {
+        Shared {
+            id: NEXT_ALLOC_ID.fetch_add(1, Ordering::Relaxed),
+            buf,
+        }
+    }
+}
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 ///
@@ -20,11 +43,12 @@ use std::sync::Arc;
 /// view without copying.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    // Arc<Vec<u8>> rather than Arc<[u8]>: converting a Vec into Arc<[u8]>
-    // reallocates and copies, which would make every `BytesMut::freeze`
-    // an extra full-buffer copy. The real crate takes ownership of the
-    // Vec's buffer without copying; this matches that cost model.
-    data: Arc<Vec<u8>>,
+    // Arc<Vec<u8>> (wrapped with an allocation id) rather than Arc<[u8]>:
+    // converting a Vec into Arc<[u8]> reallocates and copies, which would
+    // make every `BytesMut::freeze` an extra full-buffer copy. The real
+    // crate takes ownership of the Vec's buffer without copying; this
+    // matches that cost model.
+    data: Arc<Shared>,
     start: usize,
     end: usize,
 }
@@ -77,12 +101,22 @@ impl Bytes {
             end: self.start + hi,
         }
     }
+
+    /// A stable identity for the bytes this view exposes: the underlying
+    /// allocation's unique id plus the view's range within it. Two views
+    /// with equal identities are guaranteed to expose the same bytes
+    /// (immutable allocation, never-reused id), which makes the identity a
+    /// sound memoization key for content-derived values such as CRCs —
+    /// with none of the ABA hazard a pointer-based key would carry.
+    pub fn identity(&self) -> (u64, usize, usize) {
+        (self.data.id, self.start, self.end)
+    }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.buf[self.start..self.end]
     }
 }
 
@@ -96,7 +130,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::new(v),
+            data: Arc::new(Shared::new(v)),
             start: 0,
             end,
         }
@@ -251,6 +285,22 @@ mod tests {
         assert_eq!(&*s, &[2, 3, 4]);
         assert_eq!(s.slice(1..), Bytes::from(vec![3, 4]));
         assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn identity_tracks_allocation_and_range() {
+        let a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        assert_ne!(a.identity(), b.identity(), "distinct allocations");
+        assert_eq!(a.identity(), a.clone().identity(), "clones share identity");
+        let s1 = a.slice(1..3);
+        let s2 = a.slice(1..3);
+        assert_eq!(
+            s1.identity(),
+            s2.identity(),
+            "equal ranges of one allocation"
+        );
+        assert_ne!(s1.identity(), a.identity(), "range is part of the identity");
     }
 
     #[test]
