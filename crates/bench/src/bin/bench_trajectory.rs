@@ -21,6 +21,11 @@
 //! slow path it replaced, plus the saturated-point event rate, run twice
 //! and asserted bit-identical.
 //!
+//! And BENCH_9.json: the multi-group sharding scorecard — a quick
+//! groups sweep through one switch (sequential vs parallel runner,
+//! asserted identical) with per-row aggregate rates and the parser-knee
+//! location from the full-sweep thresholds.
+//!
 //! Run with `cargo run --release -p p4ce-bench --bin bench_trajectory`
 //! (scripts/bench.sh does, and moves the output to the repo root).
 //! `--seed N` overrides the simulation seed of the timed points;
@@ -28,7 +33,7 @@
 
 use bytes::Bytes;
 use netsim::SimDuration;
-use p4ce_harness::experiments::{fig5_goodput, fig6_latency};
+use p4ce_harness::experiments::{fig5_goodput, fig6_latency, groups_sweep};
 use p4ce_harness::{run_points, run_points_parallel, PointConfig, System};
 use rdma::wire::{crc32_slice8_raw, crc32_two_lane_raw};
 use rdma::{
@@ -618,4 +623,69 @@ fn main() {
     );
     std::fs::write("BENCH_8.json", &json8).expect("write BENCH_8.json");
     println!("{json8}");
+
+    // BENCH_9: the multi-group sharding scorecard. A quick sweep (the
+    // same configs as `groups_sweep --quick`: shared parser slices, so
+    // contention is visible even at this scale), timed sequential and
+    // parallel with identical rows asserted — the cross-group
+    // determinism contract measured, not just unit-tested.
+    eprintln!("groups sweep (quick, sequential vs {threads}-thread parallel)...");
+    let window = SimDuration::from_millis(5);
+    let gcfgs = groups_sweep::configs(&[1, 2, 4], window);
+    let t = Instant::now();
+    let gseq = groups_sweep::run(&[1, 2, 4], window);
+    let gseq_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let gpar = groups_sweep::run_parallel(&[1, 2, 4], window, threads);
+    let gpar_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(gseq.len(), gpar.len());
+    for (s, p) in gseq.iter().zip(&gpar) {
+        assert_eq!(s.groups, p.groups);
+        assert_eq!(
+            s.aggregate_ops_per_sec.to_bits(),
+            p.aggregate_ops_per_sec.to_bits(),
+            "parallel sharded sweep must reproduce the sequential rows exactly"
+        );
+        assert_eq!(s.events, p.events);
+    }
+    for r in &gseq {
+        eprintln!(
+            "  {} groups: {:>9.0} ops/s aggregate, p99 {:>7.1} us, {} accelerated",
+            r.groups, r.aggregate_ops_per_sec, r.p99_latency_us, r.accelerated_groups
+        );
+    }
+    let knee = groups_sweep::knee(&gseq);
+    let mut json9 = String::new();
+    json9.push_str("{\n  \"bench\": \"sharded_groups\",\n");
+    json9.push_str("  \"rows\": [\n");
+    for (i, r) in gseq.iter().enumerate() {
+        let _ = writeln!(
+            json9,
+            "    {{\"groups\": {}, \"aggregate_ops_per_sec\": {:.0}, \"aggregate_goodput_bytes_per_sec\": {:.0}, \"p99_latency_us\": {:.1}, \"accelerated_groups\": {}, \"events\": {}}}{}",
+            r.groups,
+            r.aggregate_ops_per_sec,
+            r.aggregate_goodput_bytes_per_sec,
+            r.p99_latency_us,
+            r.accelerated_groups,
+            r.events,
+            if i + 1 < gseq.len() { "," } else { "" }
+        );
+    }
+    json9.push_str("  ],\n");
+    let _ = writeln!(
+        json9,
+        "  \"sweep\": {{\"points\": {}, \"sequential_wall_ms\": {:.1}, \"parallel_wall_ms\": {:.1}, \"threads\": {}, \"identical_outputs\": true}},",
+        gcfgs.len(),
+        gseq_ms,
+        gpar_ms,
+        threads
+    );
+    let _ = writeln!(
+        json9,
+        "  \"knee_groups\": {}",
+        knee.map_or("null".to_owned(), |k| k.to_string())
+    );
+    json9.push_str("}\n");
+    std::fs::write("BENCH_9.json", &json9).expect("write BENCH_9.json");
+    println!("{json9}");
 }

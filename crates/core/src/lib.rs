@@ -48,9 +48,11 @@
 
 mod builder;
 mod member;
+mod shard;
 
 pub use builder::{ClusterBuilder, Deployment};
 pub use member::{MemberEvent, MemberStats, P4ceMember, P4ceMemberConfig};
+pub use shard::{ShardedClusterBuilder, ShardedDeployment};
 
 // Re-export the pieces users need to drive a deployment.
 pub use netsim;

@@ -19,7 +19,7 @@
 
 use bytes::Bytes;
 use netsim::{PortId, SimDuration, SimTime, TraceEvent};
-use p4ce_switch::{GroupJoin, GroupSpec};
+use p4ce_switch::{GroupJoin, GroupRetire, GroupSpec};
 use rdma::{
     CmEvent, Completion, CompletionStatus, HostOps, Permissions, Psn, Qpn, RdmaApp, RegionAdvert,
     RegionHandle, RejectReason, WrId,
@@ -205,6 +205,11 @@ pub struct P4ceMember {
     i_am_leader: bool,
     comm: Comm,
     switch_advert: Option<RegionAdvert>,
+    /// The switch-assigned id of the group this leader drives, learned
+    /// from the trailing bytes of the switch's ConnectReply. Names the
+    /// group in a retire request; survives until retire or the next
+    /// establishment overwrites it.
+    group_id: Option<u16>,
     group_members: Vec<MemberId>,
     first_decision_pending: bool,
     // Replication.
@@ -261,6 +266,7 @@ impl P4ceMember {
             i_am_leader: false,
             comm: Comm::Down,
             switch_advert: None,
+            group_id: None,
             group_members: Vec::new(),
             first_decision_pending: false,
             pending: BTreeMap::new(),
@@ -306,6 +312,12 @@ impl P4ceMember {
     /// `true` while this member leads with a working replication path.
     pub fn is_operational_leader(&self) -> bool {
         self.i_am_leader && self.comm_ready()
+    }
+
+    /// The switch-assigned group id, while this member leads an
+    /// accelerated group (and until the next group replaces it).
+    pub fn group_id(&self) -> Option<u16> {
+        self.group_id
     }
 
     /// `true` while replication is switch-accelerated.
@@ -664,6 +676,23 @@ impl P4ceMember {
                 },
             );
         }
+    }
+
+    /// Retires this leader's switch group: names it in a
+    /// [`GroupRetire`] to the switch (fire-and-forget — the switch's
+    /// reject completes the exchange and is ignored here because no
+    /// switch handshake is pending), destroys the BCast queue pair, and
+    /// falls back to direct replication. The group keeps deciding over
+    /// the direct path, and the periodic re-acceleration probe will
+    /// build a fresh switch group — with a new id — on its own.
+    pub fn retire_comm(&mut self, ops: &mut HostOps<'_, '_>) {
+        let Comm::Accelerated(_) = self.comm else {
+            return;
+        };
+        if let Some(gid) = self.group_id.take() {
+            ops.connect(self.cfg.switch_ip, GroupRetire { gid }.encode());
+        }
+        self.fall_back(ops);
     }
 
     fn reaccel_tick(&mut self, ops: &mut HostOps<'_, '_>) {
@@ -1054,6 +1083,14 @@ impl P4ceMember {
             {
                 self.propose(now, ops);
             }
+        } else {
+            // No generated workload: proposals come from an outside
+            // client (the sharded KV service). Record every decision —
+            // there is no warmup window to skip.
+            self.stats
+                .latency
+                .record(now.saturating_duration_since(arrived));
+            self.stats.throughput.record(size as u64);
         }
     }
 
@@ -1181,6 +1218,10 @@ impl P4ceMember {
     ) {
         if Some(handshake_id) == self.switch_handshake {
             if let Ok(advert) = RegionAdvert::decode(private_data) {
+                // The switch appends its group id after the advert.
+                self.group_id = private_data
+                    .get(RegionAdvert::WIRE_LEN..RegionAdvert::WIRE_LEN + 2)
+                    .map(|b| u16::from_be_bytes([b[0], b[1]]));
                 self.on_group_established(qpn, advert, ops);
             }
             return;

@@ -5,17 +5,20 @@
 //! p4ce-explore exhaustive [spec flags] [--delay-bound D] [--seeds a,b,c]
 //! p4ce-explore random     [spec flags] [--schedules N]
 //! p4ce-explore mutation-check
+//! p4ce-explore sharded-mutation-check
 //! p4ce-explore replay <reproducer-file> [--trace TRACE.json]
 //! ```
 //!
-//! Spec flags: `--system p4ce|mu`, `--members N`, `--seed S`,
-//! `--horizon H`, `--propose-every K`, `--plain-fabric`,
-//! `--partition-at STEP`, `--max-schedules M`, `--deadline-secs T`,
-//! `--out FILE` (write the shrunk reproducer there on violation).
+//! Spec flags: `--system p4ce|mu`, `--members N`, `--groups G`
+//! (G ≥ 2 explores a sharded deployment behind one switch, with the
+//! per-group oracle suite), `--seed S`, `--horizon H`,
+//! `--propose-every K`, `--plain-fabric`, `--partition-at STEP`,
+//! `--max-schedules M`, `--deadline-secs T`, `--out FILE` (write the
+//! shrunk reproducer there on violation).
 //!
-//! Exit codes: 0 = clean (or, for `mutation-check`, the injected bug was
-//! caught and shrunk); 1 = an oracle violation survived (or the
-//! mutation check failed to catch its bug); 2 = usage error.
+//! Exit codes: 0 = clean (or, for the mutation checks, the injected bug
+//! was caught); 1 = an oracle violation survived (or a mutation check
+//! failed to catch its bug); 2 = usage error.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -52,8 +55,9 @@ impl Options {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: p4ce-explore <exhaustive|random|mutation-check|replay FILE [--trace TRACE.json]> \
-         [--system p4ce|mu] [--members N] [--seed S] [--seeds a,b,c] \
+        "usage: p4ce-explore <exhaustive|random|mutation-check|sharded-mutation-check\
+         |replay FILE [--trace TRACE.json]> \
+         [--system p4ce|mu] [--members N] [--groups G] [--seed S] [--seeds a,b,c] \
          [--delay-bound D] [--horizon H] [--propose-every K] \
          [--plain-fabric] [--partition-at STEP] [--schedules N] \
          [--max-schedules M] [--deadline-secs T] [--out FILE]"
@@ -79,6 +83,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--members" => o.spec.n_members = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--groups" => o.spec.groups = value()?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => o.spec.seed = value()?.parse().map_err(|e| format!("{e}"))?,
             "--seeds" => {
                 o.seeds = value()?
@@ -229,6 +234,30 @@ fn run_mutation_check(o: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Self-test for the multi-group oracles: arm the switch's group
+/// cross-wiring mutation (two shards' scatter tables swapped — every
+/// group still agrees internally, so only the group-tag audit can see
+/// it) and demand the group-isolation oracle catches it on the very
+/// first schedule.
+fn run_sharded_mutation_check(o: &Options) -> ExitCode {
+    let spec = ExploreSpec::crosswire_mutation(o.spec.n_members);
+    let report = explore::explore(&spec, 0, Budget::schedules(1));
+    let Some(cex) = &report.counterexample else {
+        eprintln!("sharded mutation check FAILED: cross-wired groups were not caught");
+        return ExitCode::FAILURE;
+    };
+    println!("mutation caught: {}", cex.violation);
+    if cex.violation.oracle != p4ce_harness::explore::oracle::OracleKind::GroupIsolation {
+        eprintln!(
+            "sharded mutation check FAILED: wrong oracle fired ({})",
+            cex.violation.oracle
+        );
+        return ExitCode::FAILURE;
+    }
+    print!("{}", spec.to_repro(&cex.decisions).encode());
+    ExitCode::SUCCESS
+}
+
 /// Writes the collected records to `trace_out` as Perfetto JSON and
 /// prints the assembled stage-breakdown table. Runs after the replay
 /// whether it was clean or failing — visualizing the failing schedule
@@ -334,14 +363,17 @@ fn main() -> ExitCode {
             };
             run_replay(path, trace_out)
         }
-        "exhaustive" | "random" | "mutation-check" => match parse_options(&args[1..]) {
-            Ok(o) => match mode.as_str() {
-                "exhaustive" => run_exhaustive(&o),
-                "random" => run_random(&o),
-                _ => run_mutation_check(&o),
-            },
-            Err(e) => usage(&e),
-        },
+        "exhaustive" | "random" | "mutation-check" | "sharded-mutation-check" => {
+            match parse_options(&args[1..]) {
+                Ok(o) => match mode.as_str() {
+                    "exhaustive" => run_exhaustive(&o),
+                    "random" => run_random(&o),
+                    "sharded-mutation-check" => run_sharded_mutation_check(&o),
+                    _ => run_mutation_check(&o),
+                },
+                Err(e) => usage(&e),
+            }
+        }
         other => usage(&format!("unknown mode {other}")),
     }
 }

@@ -4,6 +4,7 @@ pub mod ablation_ackdrop;
 pub mod fig5_goodput;
 pub mod fig6_latency;
 pub mod fig7_burst;
+pub mod groups_sweep;
 pub mod maxrate;
 pub mod related_p4xos;
 pub mod table4_failover;

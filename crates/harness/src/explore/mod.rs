@@ -44,7 +44,7 @@ use crate::repro::{decode_decisions, encode_decisions, Repro};
 use crate::runner::System;
 use mu::MemberEvent;
 
-use oracle::{check_all, MemberProbe, Violation};
+use oracle::{check_all, check_group, MemberProbe, Violation};
 
 /// How long an explored partition lasts — effectively "for the rest of
 /// the schedule" at model-checking horizons.
@@ -56,8 +56,17 @@ const PARTITION_HOLD: SimDuration = SimDuration::from_millis(10_000);
 pub struct ExploreSpec {
     /// System under test.
     pub system: System,
-    /// Cluster size.
+    /// Cluster size (members *per group* when `groups > 1`).
     pub n_members: usize,
+    /// Consensus groups sharing the switch. 1 = the classic single-group
+    /// deployment; ≥ 2 builds a [`p4ce::ShardedDeployment`] and audits
+    /// each group with the full oracle suite plus group isolation
+    /// (explored proposals carry a 2-byte group tag).
+    pub groups: u16,
+    /// **Test-only mutation**: cross-wire the switch's per-group scatter
+    /// tables (each group's writes egress to a co-resident group's
+    /// replicas), the bug the group-isolation oracle exists to catch.
+    pub crosswire_groups: bool,
     /// Deterministic simulation seed (setup phase and payload stream).
     pub seed: u64,
     /// P4CE only: whether the fabric runs the P4CE program. `false`
@@ -84,12 +93,36 @@ impl ExploreSpec {
         ExploreSpec {
             system: System::P4ce,
             n_members,
+            groups: 1,
+            crosswire_groups: false,
             seed: 42,
             p4ce_enabled: true,
             skip_epoch_revoke: false,
             partition_leader_at: None,
             propose_every: 25,
             horizon: 400,
+        }
+    }
+
+    /// A healthy sharded deployment: `groups` accelerated P4CE groups of
+    /// `members_per_group` members behind one switch, tagged proposals
+    /// flowing into every group.
+    pub fn sharded(groups: u16, members_per_group: usize) -> ExploreSpec {
+        ExploreSpec {
+            groups,
+            ..ExploreSpec::p4ce(members_per_group)
+        }
+    }
+
+    /// The injected-bug scenario for multi-group isolation: two groups
+    /// with cross-wired scatter tables. Every schedule must trip the
+    /// group-isolation oracle as soon as one misdirected write is
+    /// applied.
+    pub fn crosswire_mutation(members_per_group: usize) -> ExploreSpec {
+        ExploreSpec {
+            crosswire_groups: true,
+            horizon: 2_000,
+            ..ExploreSpec::sharded(2, members_per_group)
         }
     }
 
@@ -126,6 +159,8 @@ impl ExploreSpec {
             },
         );
         r.set("members", self.n_members);
+        r.set("groups", self.groups);
+        r.set("crosswire_groups", self.crosswire_groups);
         r.set("seed", self.seed);
         r.set("p4ce_enabled", self.p4ce_enabled);
         r.set("skip_epoch_revoke", self.skip_epoch_revoke);
@@ -160,9 +195,21 @@ impl ExploreSpec {
             None | Some("-") => None,
             Some(s) => Some(s.parse().map_err(|_| format!("bad partition step {s}"))?),
         };
+        // Multi-group fields postdate the format; old reproducers mean a
+        // single classic group.
+        let groups = match r.get("groups") {
+            None => 1,
+            Some(s) => s.parse().map_err(|_| format!("bad groups {s}"))?,
+        };
+        let crosswire_groups = match r.get("crosswire_groups") {
+            None => false,
+            Some(s) => s.parse().map_err(|_| format!("bad crosswire_groups {s}"))?,
+        };
         let spec = ExploreSpec {
             system,
             n_members: r.parse("members")?,
+            groups,
+            crosswire_groups,
             seed: r.parse("seed")?,
             p4ce_enabled: r.parse("p4ce_enabled")?,
             skip_epoch_revoke: r.parse("skip_epoch_revoke")?,
@@ -234,6 +281,7 @@ pub struct ScheduleOutcome {
 enum Target {
     P4ce(p4ce::Deployment),
     Mu(mu::Deployment),
+    Sharded(p4ce::ShardedDeployment),
 }
 
 fn member_ip(i: usize) -> Ipv4Addr {
@@ -245,6 +293,33 @@ impl Target {
         // A small log keeps per-schedule allocation negligible; model
         // checking re-builds the deployment thousands of times.
         let log_size = 64 << 10;
+        if spec.groups > 1 {
+            assert_eq!(
+                spec.system,
+                System::P4ce,
+                "multi-group exploration targets the shared switch"
+            );
+            let switch_cfg = p4ce_switch::P4ceSwitchConfig {
+                p4ce_enabled: spec.p4ce_enabled,
+                crosswire_groups: spec.crosswire_groups,
+                reconfig_delay: SimDuration::from_micros(500),
+                ..Default::default()
+            };
+            let mut d = p4ce::ShardedClusterBuilder::new(usize::from(spec.groups), spec.n_members)
+                .seed(spec.seed)
+                .log_size(log_size)
+                .switch_config(switch_cfg)
+                .reaccel_period(SimDuration::from_millis(5))
+                .tracer(tracer.clone())
+                .build();
+            for g in 0..usize::from(spec.groups) {
+                for i in 0..spec.n_members {
+                    d.member_mut(g, i)
+                        .set_state_machine(Box::new(ChaosRecorder::default()));
+                }
+            }
+            return Target::Sharded(d);
+        }
         match spec.system {
             System::P4ce => {
                 let mut switch_cfg = p4ce_switch::P4ceSwitchConfig {
@@ -295,6 +370,7 @@ impl Target {
         match self {
             Target::P4ce(d) => &mut d.sim,
             Target::Mu(d) => &mut d.sim,
+            Target::Sharded(d) => &mut d.sim,
         }
     }
 
@@ -309,6 +385,14 @@ impl Target {
                 }
             }
             Target::Mu(d) => (0..spec.n_members).any(|i| d.member(i).is_operational_leader()),
+            Target::Sharded(d) => (0..d.groups()).all(|g| {
+                let op = (0..spec.n_members).any(|i| d.member(g, i).is_operational_leader());
+                if spec.p4ce_enabled {
+                    op && d.leader(g).is_accelerated()
+                } else {
+                    op
+                }
+            }),
         }
     }
 
@@ -343,26 +427,66 @@ impl Target {
                 };
                 d.with_member(l, move |m, ops| m.propose_value(payload, ops))
             }
+            // One tagged proposal into every group that currently has an
+            // operational leader; the 2-byte prefix is what the
+            // group-isolation oracle audits.
+            Target::Sharded(d) => {
+                let mut any = false;
+                for g in 0..d.groups() {
+                    let n = d.members[g].len();
+                    let Some(l) = (0..n).find(|&i| d.member(g, i).is_operational_leader()) else {
+                        continue;
+                    };
+                    let mut tagged = (g as u16).to_be_bytes().to_vec();
+                    tagged.extend_from_slice(&counter.to_be_bytes());
+                    let payload = Bytes::from(tagged);
+                    any |= d.with_member(g, l, move |m, ops| m.propose_value(payload, ops));
+                }
+                any
+            }
         }
     }
 
-    /// Snapshots every member for the oracles.
+    /// Snapshots every member for the oracles (single-group targets).
     fn probes(&self, spec: &ExploreSpec) -> Vec<MemberProbe> {
         let n = spec.n_members;
+        let ips: Vec<Ipv4Addr> = (0..n).map(member_ip).collect();
         match self {
             Target::P4ce(d) => (0..n)
                 .map(|i| {
                     let host = d.sim.node_ref::<Host<p4ce::P4ceMember>>(d.members[i]);
-                    probe_from(host.app(), host, i, n)
+                    probe_from(host.app(), host, i, &ips)
                 })
                 .collect(),
             Target::Mu(d) => (0..n)
                 .map(|i| {
                     let host = d.sim.node_ref::<Host<mu::MuMember>>(d.members[i]);
-                    probe_from(host.app(), host, i, n)
+                    probe_from(host.app(), host, i, &ips)
                 })
                 .collect(),
+            Target::Sharded(_) => unreachable!("sharded targets use sharded_probes"),
         }
+    }
+
+    /// Snapshots every member of every group, grouped, for the per-group
+    /// oracle suites.
+    fn sharded_probes(&self, spec: &ExploreSpec) -> Vec<Vec<MemberProbe>> {
+        let Target::Sharded(d) = self else {
+            unreachable!("sharded_probes needs a sharded target")
+        };
+        (0..d.groups())
+            .map(|g| {
+                let ips: Vec<Ipv4Addr> = (0..spec.n_members)
+                    .map(|i| p4ce::ShardedClusterBuilder::member_ip(g, i))
+                    .collect();
+                (0..spec.n_members)
+                    .map(|i| {
+                        let host = d.sim.node_ref::<Host<p4ce::P4ceMember>>(d.members[g][i]);
+                        probe_from(host.app(), host, i, &ips)
+                    })
+                    .collect()
+            })
+            .collect()
     }
 }
 
@@ -415,14 +539,13 @@ fn probe_from<A: rdma::RdmaApp>(
     app: &dyn Probeable,
     host: &Host<A>,
     i: usize,
-    n: usize,
+    ips: &[Ipv4Addr],
 ) -> MemberProbe {
     let mut write_grants = Vec::new();
     if let Some(region) = app.log_region() {
         // Audit cluster members only: the switch is a conduit whose
         // grant is epoch-independent by design.
-        for j in 0..n {
-            let ip = member_ip(j);
+        for &ip in ips {
             if host.memory().effective_perms(region, ip).remote_write {
                 write_grants.push(ip);
             }
@@ -443,7 +566,7 @@ fn probe_from<A: rdma::RdmaApp>(
         }
     }
     MemberProbe {
-        ip: member_ip(i),
+        ip: ips[i],
         applied_seqs,
         applied_payloads,
         next_apply_seq: app.next_apply_seq(),
@@ -502,7 +625,21 @@ pub fn run_schedule_traced(
             break;
         }
         steps = step + 1;
-        if let Some(v) = check_all(&target.probes(spec), step) {
+        let fired = if matches!(target, Target::Sharded(_)) {
+            target
+                .sharded_probes(spec)
+                .iter()
+                .enumerate()
+                .find_map(|(g, probes)| {
+                    check_group(probes, step, g as u16).map(|mut v| {
+                        v.detail = format!("group {g}: {}", v.detail);
+                        v
+                    })
+                })
+        } else {
+            check_all(&target.probes(spec), step)
+        };
+        if let Some(v) = fired {
             violation = Some(v);
             break;
         }
@@ -528,6 +665,9 @@ fn member_node(target: &Target, i: usize) -> netsim::NodeId {
     match target {
         Target::P4ce(d) => d.members[i],
         Target::Mu(d) => d.members[i],
+        // For sharded targets the explored partition hits group 0's
+        // member `i` — faults stay confined to one group by construction.
+        Target::Sharded(d) => d.members[0][i],
     }
 }
 
@@ -775,6 +915,34 @@ mod tests {
     }
 
     #[test]
+    fn sharded_clean_walks_stay_clean() {
+        // Two accelerated groups behind one switch, tagged proposals
+        // into both, randomized event interleavings: no oracle — group
+        // isolation included — may fire.
+        let spec = ExploreSpec::sharded(2, 3);
+        let report = random_walk(&spec, Budget::schedules(3));
+        assert_eq!(report.status, ExploreStatus::BudgetExhausted);
+        assert!(report.counterexample.is_none());
+    }
+
+    #[test]
+    fn crosswired_groups_are_caught_by_group_isolation() {
+        let spec = ExploreSpec::crosswire_mutation(3);
+        let report = explore(&spec, 0, Budget::schedules(1));
+        assert_eq!(report.status, ExploreStatus::Violated, "bug must be caught");
+        let cex = report.counterexample.expect("counterexample");
+        assert_eq!(cex.violation.oracle, OracleKind::GroupIsolation);
+        assert!(cex.violation.detail.contains("group"));
+
+        // The counterexample round-trips through a reproducer file.
+        let text = spec.to_repro(&cex.decisions).encode();
+        let back = Repro::decode(&text).expect("decode");
+        let outcome = replay(&back).expect("replay");
+        let v = outcome.violation.expect("replayed violation");
+        assert_eq!(v.oracle, OracleKind::GroupIsolation);
+    }
+
+    #[test]
     fn spec_round_trips_through_repro() {
         let spec = ExploreSpec::single_writer_mutation(3);
         let mut decisions = BTreeMap::new();
@@ -789,5 +957,19 @@ mod tests {
         let (spec3, d3) = ExploreSpec::from_repro(&r2).expect("parse");
         assert_eq!(spec3, healthy);
         assert!(d3.is_empty());
+
+        // Multi-group fields survive the trip…
+        let sharded = ExploreSpec::crosswire_mutation(3);
+        let r3 = sharded.to_repro(&BTreeMap::new());
+        let (spec4, _) = ExploreSpec::from_repro(&r3).expect("parse");
+        assert_eq!(spec4, sharded);
+
+        // …and reproducers predating them parse as one classic group.
+        let mut legacy = healthy.to_repro(&BTreeMap::new());
+        legacy.unset("groups");
+        legacy.unset("crosswire_groups");
+        let (spec5, _) = ExploreSpec::from_repro(&legacy).expect("parse legacy");
+        assert_eq!(spec5.groups, 1);
+        assert!(!spec5.crosswire_groups);
     }
 }

@@ -29,6 +29,12 @@ pub enum OracleKind {
     /// Only the current epoch's leader may hold write permission on a
     /// member's log region.
     SingleWriter,
+    /// In a multi-group deployment, a member applies only entries
+    /// proposed to its own group (every explored proposal carries a
+    /// 2-byte group tag). Catches switch-side cross-wiring, where a
+    /// group's replicas replicate a co-resident group's log perfectly —
+    /// agreeing with each other — and only the tag betrays the leak.
+    GroupIsolation,
 }
 
 impl OracleKind {
@@ -40,6 +46,7 @@ impl OracleKind {
             OracleKind::ExactlyOnce => "exactly-once",
             OracleKind::UniqueLeader => "unique-leader",
             OracleKind::SingleWriter => "single-writer",
+            OracleKind::GroupIsolation => "group-isolation",
         }
     }
 
@@ -51,6 +58,7 @@ impl OracleKind {
             "exactly-once" => OracleKind::ExactlyOnce,
             "unique-leader" => OracleKind::UniqueLeader,
             "single-writer" => OracleKind::SingleWriter,
+            "group-isolation" => OracleKind::GroupIsolation,
             _ => return None,
         })
     }
@@ -131,6 +139,38 @@ pub fn check_all(probes: &[MemberProbe], step: u32) -> Option<Violation> {
     }
     if let Some(d) = exactly_once(probes) {
         return fire(OracleKind::ExactlyOnce, d);
+    }
+    None
+}
+
+/// Runs every oracle over one *group's* snapshot of a multi-group
+/// deployment: the group-isolation check (each applied payload's leading
+/// two bytes must equal `group_tag`) first, then the whole single-group
+/// suite within the group.
+pub fn check_group(probes: &[MemberProbe], step: u32, group_tag: u16) -> Option<Violation> {
+    if let Some(detail) = group_isolation(probes, group_tag) {
+        return Some(Violation {
+            step,
+            oracle: OracleKind::GroupIsolation,
+            detail,
+        });
+    }
+    check_all(probes, step)
+}
+
+fn group_isolation(probes: &[MemberProbe], group_tag: u16) -> Option<String> {
+    let want = group_tag.to_be_bytes();
+    for (i, p) in probes.iter().enumerate() {
+        for (k, payload) in p.applied_payloads.iter().enumerate() {
+            if payload.len() < 2 || payload[..2] != want {
+                return Some(format!(
+                    "member {i} ({}) of group {group_tag} applied entry {k} \
+                     tagged {:?} — another group's proposal leaked in",
+                    p.ip,
+                    payload.get(..2)
+                ));
+            }
+        }
     }
     None
 }
@@ -307,6 +347,56 @@ mod tests {
     }
 
     #[test]
+    fn foreign_group_tag_trips_group_isolation() {
+        let tagged = |tag: u16, i: u8| {
+            let mut p = probe(i);
+            p.applied_payloads = (0u64..3)
+                .map(|c| {
+                    let mut v = tag.to_be_bytes().to_vec();
+                    v.extend_from_slice(&c.to_be_bytes());
+                    v
+                })
+                .collect();
+            p
+        };
+        // A group whose members only applied its own proposals is clean.
+        let probes = [tagged(1, 0), tagged(1, 1), tagged(1, 2)];
+        assert_eq!(check_group(&probes, 4, 1), None);
+
+        // The same members audited as group 0 — or with one foreign
+        // entry — fire, even though they agree perfectly intra-group.
+        let v = check_group(&probes, 4, 0).expect("must fire");
+        assert_eq!(v.oracle, OracleKind::GroupIsolation);
+        assert_eq!(v.step, 4);
+        let mut leaky = [tagged(0, 0), tagged(0, 1)];
+        leaky[1].applied_payloads[2][..2].copy_from_slice(&7u16.to_be_bytes());
+        let v = check_group(&leaky, 9, 0).expect("must fire");
+        assert_eq!(v.oracle, OracleKind::GroupIsolation);
+        assert!(v.detail.contains("group 0"));
+
+        // Too-short payloads cannot be attributed to any group.
+        let mut short = [tagged(0, 0)];
+        short[0].applied_payloads[0] = vec![0];
+        assert!(check_group(&short, 0, 0).is_some());
+    }
+
+    #[test]
+    fn check_group_still_runs_the_single_group_suite() {
+        let tag = 2u16.to_be_bytes();
+        let mut probes = [probe(0), probe(1)];
+        for p in &mut probes {
+            for payload in &mut p.applied_payloads {
+                let mut v = tag.to_vec();
+                v.extend_from_slice(payload);
+                *payload = v;
+            }
+        }
+        probes[1].applied_payloads[1] = [&tag[..], b"X"].concat();
+        let v = check_group(&probes, 0, 2).expect("must fire");
+        assert_eq!(v.oracle, OracleKind::Agreement);
+    }
+
+    #[test]
     fn oracle_kind_names_round_trip() {
         for k in [
             OracleKind::Agreement,
@@ -314,6 +404,7 @@ mod tests {
             OracleKind::ExactlyOnce,
             OracleKind::UniqueLeader,
             OracleKind::SingleWriter,
+            OracleKind::GroupIsolation,
         ] {
             assert_eq!(OracleKind::from_name(k.name()), Some(k));
         }

@@ -99,6 +99,8 @@ mod tests {
         let spec = ExploreSpec {
             system: System::P4ce,
             n_members: 3,
+            groups: 1,
+            crosswire_groups: false,
             seed: 42,
             p4ce_enabled: true,
             skip_epoch_revoke: false,

@@ -25,6 +25,7 @@ pub mod explore;
 pub mod report;
 pub mod repro;
 pub mod runner;
+pub mod shard;
 pub mod tracing;
 
 pub use chaos::{ChaosRecorder, ChaosReport, ChaosSpec};
@@ -34,6 +35,11 @@ pub use repro::Repro;
 pub use runner::{
     run_point, run_point_metered, run_points, run_points_parallel, PointConfig, PointOutcome,
     System,
+};
+pub use shard::{
+    run_sharded_point, run_sharded_point_metered, run_sharded_points, run_sharded_points_parallel,
+    HashRing, ShardGroupOutcome, ShardKvCommand, ShardKvStore, ShardedOutcome, ShardedPointConfig,
+    ZipfSampler,
 };
 pub use tracing::{
     run_point_traced, run_point_traced_with, stage_rows, stage_table, write_chrome_trace,

@@ -6,7 +6,10 @@
 
 use netsim::SimDuration;
 use p4ce_harness::experiments::{fig5_goodput, fig6_latency};
-use p4ce_harness::{run_points, run_points_parallel, PointConfig, System};
+use p4ce_harness::{
+    run_points, run_points_parallel, run_sharded_points, run_sharded_points_parallel, PointConfig,
+    ShardedPointConfig, System,
+};
 use replication::WorkloadSpec;
 
 fn mixed_points() -> Vec<PointConfig> {
@@ -69,6 +72,52 @@ fn parallel_runs_are_repeatable() {
     let a = run_points_parallel(&cfgs, 3);
     let b = run_points_parallel(&cfgs, 3);
     assert_eq!(a, b, "same inputs, same threads, same outcomes");
+}
+
+fn sharded_points() -> Vec<ShardedPointConfig> {
+    [1usize, 2, 3]
+        .into_iter()
+        .map(|groups| {
+            let mut cfg = ShardedPointConfig::new(groups);
+            cfg.warmup = SimDuration::from_millis(1);
+            cfg.window = SimDuration::from_millis(2);
+            cfg
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_parallel_outcomes_equal_sequential() {
+    // The multi-group extension of the contract: a sharded point — many
+    // consensus groups in one simulation — is still a pure function of
+    // its config, per-group rows, log fingerprints and event totals
+    // included.
+    let cfgs = sharded_points();
+    let sequential = run_sharded_points(&cfgs);
+    for threads in [2, 5] {
+        let parallel = run_sharded_points_parallel(&cfgs, threads);
+        assert_eq!(
+            parallel, sequential,
+            "sharded outcome divergence with {threads} threads"
+        );
+    }
+    for (cfg, o) in cfgs.iter().zip(&sequential) {
+        assert_eq!(o.per_group.len(), cfg.groups);
+        assert!(o.per_group.iter().all(|g| g.decided > 0));
+        assert!(o.events_processed > 0);
+    }
+}
+
+#[test]
+fn sharded_threads_used_is_provenance_only() {
+    let cfgs = sharded_points()[..2].to_vec();
+    let seq = run_sharded_points(&cfgs);
+    assert!(seq.iter().all(|o| o.threads_used == 1));
+    let par = run_sharded_points_parallel(&cfgs, 2);
+    assert_eq!(par, seq, "threads_used must not affect equality");
+    let mut relabeled = seq[0].clone();
+    relabeled.threads_used += 63;
+    assert_eq!(relabeled, seq[0]);
 }
 
 #[test]

@@ -63,7 +63,7 @@ pub use cpu::Cpu;
 pub use fault::{FaultPlan, FaultStats, Partition};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use link::{Bandwidth, LinkSpec, LinkStats, WIRE_OVERHEAD_BYTES};
-pub use metrics::MetricsRegistry;
+pub use metrics::{group_scoped, MetricsRegistry};
 pub use node::{Context, Frame, Node, NodeId, PortId, TimerToken};
 pub use sched::{EventClass, EventInfo, FifoScheduler, ReplayScheduler, Scheduler};
 pub use sim::{Simulation, TapId};

@@ -93,6 +93,22 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Every registered metric name — counters, gauges and histograms —
+    /// sorted and deduplicated. Collision checks (two components mapping
+    /// to the same name) diff this against the expected set.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .cloned()
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
     /// Renders everything as sorted `name value` lines; histograms show
     /// `count/mean/p50/p99/max` in nanoseconds.
     pub fn render(&self) -> String {
@@ -118,10 +134,29 @@ impl MetricsRegistry {
     }
 }
 
+/// The group dimension of a metric name: `base` scoped to consensus
+/// group `group` as `"g{group}.{base}"`. Every component of a sharded
+/// deployment routes its snapshot through this so two groups' members
+/// with the same node index (`member.0` in group 0 and in group 1) can
+/// never collide in one registry.
+pub fn group_scoped(group: usize, base: &str) -> String {
+    format!("g{group}.{base}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::time::SimDuration;
+
+    #[test]
+    fn group_scoping_separates_same_index_components() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter(&group_scoped(0, "member.0.decided"), 3);
+        reg.set_counter(&group_scoped(1, "member.0.decided"), 5);
+        assert_eq!(reg.counter("g0.member.0.decided"), Some(3));
+        assert_eq!(reg.counter("g1.member.0.decided"), Some(5));
+        assert_eq!(reg.names().len(), 2, "no collision");
+    }
 
     #[test]
     fn counters_gauges_histograms_round_trip() {

@@ -20,5 +20,7 @@
 mod program;
 mod spec;
 
-pub use program::{AckDropStage, CreditMode, P4ceProgram, P4ceSwitchConfig, P4ceSwitchStats};
-pub use spec::{GroupJoin, GroupSpec, SpecError};
+pub use program::{
+    AckDropStage, CreditMode, GroupStats, P4ceProgram, P4ceSwitchConfig, P4ceSwitchStats,
+};
+pub use spec::{GroupJoin, GroupRetire, GroupSpec, SpecError};

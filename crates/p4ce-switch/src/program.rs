@@ -34,7 +34,7 @@ use tofino::{
     MulticastGroupId, PipelineOps, RegisterArray, SwitchProgram, ViewVerdict,
 };
 
-use crate::spec::{GroupJoin, GroupSpec};
+use crate::spec::{GroupJoin, GroupRetire, GroupSpec};
 
 /// Where non-`f`-th ACKs are discarded — the §IV-D performance ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +83,13 @@ pub struct P4ceSwitchConfig {
     /// are silently ignored, so leaders fall back to direct replication
     /// (§III-A). Ordinary L3 forwarding is unaffected.
     pub p4ce_enabled: bool,
+    /// **Mutation switch for the model checker.** When set, the egress
+    /// rewrite of scattered write copies uses the *partner* group's
+    /// replica addressing (IP, QP, PSN base, VA, `R_key`) — a deliberate
+    /// group-id cross-wiring bug that deposits one shard's entries in
+    /// another shard's logs. The per-group oracles must catch it; it is
+    /// never set outside self-checks.
+    pub crosswire_groups: bool,
 }
 
 impl Default for P4ceSwitchConfig {
@@ -94,6 +101,7 @@ impl Default for P4ceSwitchConfig {
             credit_mode: CreditMode::Minimum,
             credit_stale_scatters: 1024,
             p4ce_enabled: true,
+            crosswire_groups: false,
         }
     }
 }
@@ -153,6 +161,41 @@ struct Group {
     /// The leader's original handshake, answered after reconfiguration.
     leader_handshake: u64,
     pending_replies: u32,
+    /// This group's own data-plane counters (the global
+    /// [`P4ceSwitchStats`] sums across groups).
+    stats: GroupStats,
+}
+
+/// Per-group data-plane counters: the group-keyed slice of
+/// [`P4ceSwitchStats`], for isolation tests and per-shard reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Write packets scattered for this group.
+    pub scattered: u64,
+    /// ACKs absorbed by this group's aggregation.
+    pub acks_absorbed: u64,
+    /// `f`-th ACKs forwarded to this group's leader.
+    pub acks_forwarded: u64,
+    /// Stale ACKs (earlier window wrap) absorbed.
+    pub acks_stale: u64,
+    /// Duplicate ACKs absorbed.
+    pub acks_duplicate: u64,
+    /// NAKs forwarded to this group's leader.
+    pub naks_forwarded: u64,
+}
+
+impl GroupStats {
+    /// Snapshots the counters into `reg` under `prefix` (e.g.
+    /// `switch.g1`), mirroring the [`P4ceSwitchStats::register_into`]
+    /// key shapes.
+    pub fn register_into(&self, reg: &mut netsim::MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.scattered"), self.scattered);
+        reg.set_counter(&format!("{prefix}.acks.absorbed"), self.acks_absorbed);
+        reg.set_counter(&format!("{prefix}.acks.forwarded"), self.acks_forwarded);
+        reg.set_counter(&format!("{prefix}.acks.stale"), self.acks_stale);
+        reg.set_counter(&format!("{prefix}.acks.duplicate"), self.acks_duplicate);
+        reg.set_counter(&format!("{prefix}.naks.forwarded"), self.naks_forwarded);
+    }
 }
 
 /// Counters for experiments and tests.
@@ -176,6 +219,8 @@ pub struct P4ceSwitchStats {
     pub stale_credit_skips: u64,
     /// Communication groups created.
     pub groups_created: u64,
+    /// Communication groups retired on leader request.
+    pub groups_retired: u64,
     /// Reconfigurations completed.
     pub reconfigs: u64,
 }
@@ -200,6 +245,7 @@ impl P4ceSwitchStats {
             self.stale_credit_skips,
         );
         reg.set_counter(&format!("{prefix}.groups.created"), self.groups_created);
+        reg.set_counter(&format!("{prefix}.groups.retired"), self.groups_retired);
         reg.set_counter(&format!("{prefix}.reconfigs"), self.reconfigs);
     }
 }
@@ -267,6 +313,34 @@ impl P4ceProgram {
         self.groups.values().filter(|g| g.active).count()
     }
 
+    /// The ids of every live group, ascending.
+    pub fn group_ids(&self) -> Vec<u16> {
+        self.groups.keys().copied().collect()
+    }
+
+    /// This group's own counters, if it is (still) live.
+    pub fn group_stats(&self, gid: u16) -> Option<GroupStats> {
+        self.groups.get(&gid).map(|g| g.stats)
+    }
+
+    /// The group led by `leader`, if any (groups have exactly one
+    /// leader; a leader drives at most one group at a time).
+    pub fn gid_of_leader(&self, leader: Ipv4Addr) -> Option<u16> {
+        self.groups
+            .iter()
+            .find(|(_, g)| g.leader_ip == leader)
+            .map(|(&gid, _)| gid)
+    }
+
+    /// Snapshots every live group's counters into `reg` under
+    /// `"{prefix}.g{gid}.*"` — the group dimension that keeps co-resident
+    /// shards' switch metrics from colliding.
+    pub fn register_groups_into(&self, reg: &mut netsim::MetricsRegistry, prefix: &str) {
+        for (gid, g) in &self.groups {
+            g.stats.register_into(reg, &format!("{prefix}.g{gid}"));
+        }
+    }
+
     // ------------------------------------------------------------------
     // Control plane
     // ------------------------------------------------------------------
@@ -285,16 +359,26 @@ impl P4ceProgram {
             // request vanishes and the leader times out into fallback.
             return;
         }
-        let Ok(spec) = GroupSpec::decode(private_data) else {
-            Self::send_cm(
-                ops,
-                pkt.src_ip,
-                &CmMessage::ConnectReject {
-                    handshake_id,
-                    reason: RejectReason::NotListening,
-                },
-            );
-            return;
+        let spec = match GroupSpec::decode(private_data) {
+            Ok(spec) => spec,
+            Err(_) => {
+                // Not a group request. A leader-tagged retire tears its
+                // group down; everything else is noise. Either way the
+                // reject completes the requester's CM exchange — the
+                // retire needs no richer acknowledgement than that.
+                if let Ok(retire) = GroupRetire::decode(private_data) {
+                    self.retire_group(retire.gid, pkt.src_ip, ops);
+                }
+                Self::send_cm(
+                    ops,
+                    pkt.src_ip,
+                    &CmMessage::ConnectReject {
+                        handshake_id,
+                        reason: RejectReason::NotListening,
+                    },
+                );
+                return;
+            }
         };
         let gid = self.next_gid;
         self.next_gid += 1;
@@ -355,9 +439,32 @@ impl P4ceProgram {
                 active: false,
                 leader_handshake: handshake_id,
                 pending_replies: n as u32,
+                stats: GroupStats::default(),
             },
         );
         self.stats.groups_created += 1;
+    }
+
+    /// Tears down one group on its leader's request: unprogram the
+    /// multicast entry and both match tables, free the state. Other
+    /// groups' table entries and registers are untouched — group
+    /// lifecycle must never disturb co-resident groups. Requests from
+    /// anyone but the group's leader are ignored.
+    fn retire_group(&mut self, gid: u16, requester: Ipv4Addr, ops: &mut dyn ControlOps) {
+        if self
+            .groups
+            .get(&gid)
+            .is_none_or(|g| g.leader_ip != requester)
+        {
+            return;
+        }
+        let group = self.groups.remove(&gid).expect("presence checked");
+        ops.remove_mcast_group(group.mcast);
+        self.bcast_table.remove(&group.bcast_qpn.masked());
+        for r in &group.replicas {
+            self.aggr_table.remove(&r.aggr_qpn.masked());
+        }
+        self.stats.groups_retired += 1;
     }
 
     fn handle_replica_reply(
@@ -484,11 +591,16 @@ impl P4ceProgram {
             rkey: group.virt_rkey,
             len: min_len,
         };
+        // The advert plus the switch-assigned group id, big-endian, in
+        // the trailing bytes `RegionAdvert::decode` tolerates: the
+        // leader learns which group to name when it later retires.
+        let mut private = advert.encode().to_vec();
+        private.extend_from_slice(&gid.to_be_bytes());
         let reply = CmMessage::ConnectReply {
             handshake_id: group.leader_handshake,
             qpn: group.bcast_qpn,
             start_psn: Psn::new(0),
-            private_data: advert.encode(),
+            private_data: private.into(),
         };
         let dst = group.leader_ip;
         Self::send_cm(ops, dst, &reply);
@@ -595,6 +707,7 @@ impl P4ceProgram {
             AethKind::Nak(_) => {
                 // NAKs pass through immediately (§III-A).
                 let rw = Self::rewrite_for_leader(group, endpoint, sw_ip, psn);
+                group.stats.naks_forwarded += 1;
                 self.stats.naks_forwarded += 1;
                 tracer.emit(now, || TraceEvent::NakForward {
                     psn: u64::from(rw.psn.expect("leader PSN set").value()),
@@ -618,6 +731,7 @@ impl P4ceProgram {
                     // The slot has wrapped to a newer write (or was never
                     // scattered): a late ACK from the old occupant must
                     // not count towards the new one's quorum.
+                    group.stats.acks_stale += 1;
                     self.stats.stale_acks_dropped += 1;
                     return GatherVerdict::Absorb;
                 }
@@ -626,6 +740,7 @@ impl P4ceProgram {
                 if seen & bit != 0 {
                     // This replica already ACKed this PSN — a duplicate
                     // (retransmitting fabric) adds no new storage.
+                    group.stats.acks_duplicate += 1;
                     self.stats.duplicate_acks_dropped += 1;
                     return GatherVerdict::Absorb;
                 }
@@ -649,6 +764,7 @@ impl P4ceProgram {
                         kind: AethKind::Ack { credits: reported },
                         msn: aeth.msn,
                     });
+                    group.stats.acks_forwarded += 1;
                     self.stats.acks_forwarded += 1;
                     tracer.emit(now, || TraceEvent::GatherAck {
                         psn: leader_psn,
@@ -665,6 +781,7 @@ impl P4ceProgram {
                     }
                     GatherVerdict::Forward(rw)
                 } else {
+                    group.stats.acks_absorbed += 1;
                     self.stats.acks_absorbed += 1;
                     tracer.emit(now, || TraceEvent::GatherAck {
                         psn: leader_psn,
@@ -808,12 +925,28 @@ impl SwitchProgram for P4ceProgram {
             group.num_recv.write(dist as usize, 0);
             group.num_recv_psn.write(dist as usize, dist);
             group.scatter_count = group.scatter_count.wrapping_add(1);
+            group.stats.scattered += 1;
             self.stats.scattered += 1;
             ops.tracer().emit(meta.now, || TraceEvent::Scatter {
                 psn: u64::from(pkt.bth.psn.value()),
                 dist: u64::from(dist),
             });
-            return IngressVerdict::Multicast(group.mcast);
+            let mcast = group.mcast;
+            // The injected cross-wiring bug, part 1: replicate through
+            // the *partner* group's scatter template, so the copies leave
+            // on the foreign replicas' ports (egress rewrites the
+            // addressing to match — part 2).
+            if self.cfg.crosswire_groups {
+                if let Some(other) = self
+                    .groups
+                    .iter()
+                    .find(|&(&g, _)| g != gid)
+                    .map(|(_, og)| og.mcast)
+                {
+                    return IngressVerdict::Multicast(other);
+                }
+            }
+            return IngressVerdict::Multicast(mcast);
         }
         if pkt.bth.opcode == Opcode::Acknowledge {
             let Some(&(gid, endpoint)) = self.aggr_table.lookup(&pkt.bth.dest_qp.masked()) else {
@@ -869,6 +1002,23 @@ impl SwitchProgram for P4ceProgram {
             if !replica.established {
                 return false;
             }
+            // The injected cross-wiring bug, part 2: address the copy
+            // with the *partner* group's replica at the same endpoint
+            // index (ingress already replicated through the partner's
+            // scatter template, so the copy is on that replica's port).
+            // The PSN distance still comes from the real group's leader,
+            // so the foreign replica accepts the write at an aligned
+            // slot — one shard's entry lands in another shard's log.
+            let addr = if self.cfg.crosswire_groups {
+                self.groups
+                    .iter()
+                    .find(|&(&g, _)| g != gid)
+                    .and_then(|(_, og)| og.replicas.get(meta.rid as usize))
+                    .filter(|r| r.established)
+                    .unwrap_or(replica)
+            } else {
+                replica
+            };
             ops.tracer().emit(meta.now, || TraceEvent::ScatterCopy {
                 psn: u64::from(pkt.bth.psn.value()),
                 rid: u64::from(meta.rid),
@@ -876,18 +1026,18 @@ impl SwitchProgram for P4ceProgram {
             // Addressing: the replica must see the switch as its peer.
             pkt.src_ip = sw_ip;
             pkt.src_mac = MacAddr::for_ip(sw_ip);
-            pkt.dst_ip = replica.ip;
-            pkt.dst_mac = MacAddr::for_ip(replica.ip);
+            pkt.dst_ip = addr.ip;
+            pkt.dst_mac = MacAddr::for_ip(addr.ip);
             pkt.udp_src_port = 0xD000 | (meta.rid & 0x0fff);
             // Transport: destination QP and PSN base are per replica.
-            pkt.bth.dest_qp = replica.qpn;
+            pkt.bth.dest_qp = addr.qpn;
             let dist = group.leader_start_psn.distance_to(pkt.bth.psn);
-            pkt.bth.psn = replica.start_psn_out.advance(dist);
+            pkt.bth.psn = addr.start_psn_out.advance(dist);
             // RDMA: rebase the virtual address and swap in the replica's
             // real key (the leader wrote against VA 0 + offset).
             if let Some(reth) = &mut pkt.reth {
-                reth.va += replica.va;
-                reth.rkey = replica.rkey;
+                reth.va += addr.va;
+                reth.rkey = addr.rkey;
             }
             return true;
         }
@@ -994,6 +1144,7 @@ mod tests {
                 active: true,
                 leader_handshake: 0,
                 pending_replies: 0,
+                stats: GroupStats::default(),
             },
         );
         p

@@ -41,6 +41,14 @@ pub struct SwitchConfig {
     /// the handler (slow path; §IV-A notes this is fine because
     /// connections are rare).
     pub cpu_punt_latency: SimDuration,
+    /// Number of parser slices shared across all ports, per direction.
+    /// `None` (the default) gives every port its own ingress and egress
+    /// parser — the Tofino front-panel layout this model has always
+    /// used. `Some(k)` pools the ports onto `k` slices (port → slice by
+    /// `port mod k`), modelling a pipe whose parser slices are shared
+    /// among more ports than slices; that contention is what the
+    /// groups-sweep experiment drives into its Mpps knee.
+    pub parser_slices: Option<usize>,
     /// Trace sink the loaded program emits data-plane events through
     /// (via [`PipelineOps::tracer`]). Disabled by default.
     pub tracer: netsim::Tracer,
@@ -56,6 +64,7 @@ impl SwitchConfig {
             parser_queue_limit: 512,
             pipeline_latency: SimDuration::from_nanos(400),
             cpu_punt_latency: SimDuration::from_micros(20),
+            parser_slices: None,
             tracer: netsim::Tracer::disabled(),
         }
     }
@@ -187,6 +196,7 @@ pub struct Switch<P: SwitchProgram> {
 impl<P: SwitchProgram> Switch<P> {
     /// Builds a switch with `ports` ports running `program`.
     pub fn new(cfg: SwitchConfig, ports: usize, program: P) -> Self {
+        let lanes = cfg.parser_slices.unwrap_or(ports).max(1);
         Switch {
             shared: Shared {
                 cfg,
@@ -195,8 +205,8 @@ impl<P: SwitchProgram> Switch<P> {
                 stats: SwitchStats::default(),
             },
             program,
-            ingress_parsers: vec![Cpu::new(); ports],
-            egress_parsers: vec![Cpu::new(); ports],
+            ingress_parsers: vec![Cpu::new(); lanes],
+            egress_parsers: vec![Cpu::new(); lanes],
             stash: Vec::new(),
             stash_free: Vec::new(),
             mcast_scratch: Vec::new(),
@@ -345,7 +355,8 @@ impl<P: SwitchProgram> Node for Switch<P> {
     }
 
     fn on_frame(&mut self, port: PortId, frame: Frame, ctx: &mut Context<'_>) {
-        let parser = &mut self.ingress_parsers[port.index()];
+        let lane = port.index() % self.ingress_parsers.len();
+        let parser = &mut self.ingress_parsers[lane];
         match Self::parser_admit(parser, ctx.now, &self.shared.cfg) {
             None => {
                 self.shared.stats.parser_overflow_drops += 1;
@@ -377,7 +388,8 @@ impl<P: SwitchProgram> Node for Switch<P> {
                     }
                     _ => return,
                 };
-                let parser = &mut self.egress_parsers[port.index()];
+                let lane = port.index() % self.egress_parsers.len();
+                let parser = &mut self.egress_parsers[lane];
                 match Self::parser_admit(parser, ctx.now, &self.shared.cfg) {
                     None => {
                         self.shared.stats.parser_overflow_drops += 1;

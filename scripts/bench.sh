@@ -6,10 +6,11 @@
 # tracing-overhead comparison (sink disabled vs enabled, outcomes
 # asserted identical) written to BENCH_5.json, the event-engine
 # scorecard (rates + overhead vs the pre-overhaul baselines) written to
-# BENCH_6.json, and the hot-path kernel scorecard (per-stage ns + event
-# rate vs the pre-kernel-overhaul baseline) written to BENCH_8.json.
+# BENCH_6.json, the hot-path kernel scorecard (per-stage ns + event
+# rate vs the pre-kernel-overhaul baseline) written to BENCH_8.json,
+# and the sharded groups-sweep scorecard written to BENCH_9.json.
 #
-#   ./scripts/bench.sh                      # criterion smoke + BENCH_3/5/6/8.json
+#   ./scripts/bench.sh                      # criterion smoke + BENCH_3/5/6/8/9.json
 #   ./scripts/bench.sh --seed 7 --iters 50000
 #
 # --seed N   overrides the simulation seed of the timed points
@@ -44,7 +45,7 @@ cargo bench -p p4ce-bench --bench sim_consensus
 echo "==> criterion: switch_registers (scatter/gather primitives)"
 cargo bench -p p4ce-bench --bench switch_registers
 
-echo "==> timed sweeps -> BENCH_3.json, trace overhead -> BENCH_5.json, scorecards -> BENCH_6.json, BENCH_8.json"
+echo "==> timed sweeps -> BENCH_3.json, trace overhead -> BENCH_5.json, scorecards -> BENCH_6.json, BENCH_8.json, BENCH_9.json"
 cargo run --release -p p4ce-bench --bin bench_trajectory -- "${TRAJECTORY_ARGS[@]+"${TRAJECTORY_ARGS[@]}"}"
 
-echo "bench: BENCH_3.json, BENCH_5.json, BENCH_6.json and BENCH_8.json written"
+echo "bench: BENCH_3.json, BENCH_5.json, BENCH_6.json, BENCH_8.json and BENCH_9.json written"

@@ -19,6 +19,9 @@ cargo test -q
 echo "==> cargo test -q --workspace (crate unit tests)"
 cargo test -q --workspace --exclude p4ce-repro
 
+echo "==> sharded-KV smoke (quick groups sweep, seq == parallel)"
+cargo run --release -p p4ce-bench --bin groups_sweep -- --quick --threads 2 >/dev/null
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
