@@ -26,6 +26,13 @@
 //! asserted identical) with per-row aggregate rates and the parser-knee
 //! location from the full-sweep thresholds.
 //!
+//! And BENCH_10.json: the failover-attribution scorecard — the E10
+//! quick sweep's per-phase budgets (phases asserted to sum exactly to
+//! each unavailability window), the unavailability p50/p99, the
+//! throughput-dip shape, and the timeline-sampler overhead at a 100 µs
+//! cadence (interleaved sampled/unsampled pairs, best-of-N, outcomes
+//! asserted bit-identical — sampling observes, never perturbs).
+//!
 //! Run with `cargo run --release -p p4ce-bench --bin bench_trajectory`
 //! (scripts/bench.sh does, and moves the output to the repo root).
 //! `--seed N` overrides the simulation seed of the timed points;
@@ -33,8 +40,10 @@
 
 use bytes::Bytes;
 use netsim::SimDuration;
-use p4ce_harness::experiments::{fig5_goodput, fig6_latency, groups_sweep};
-use p4ce_harness::{run_points, run_points_parallel, PointConfig, System};
+use p4ce_harness::experiments::{e10_failover, fig5_goodput, fig6_latency, groups_sweep};
+use p4ce_harness::{
+    run_failover, run_points, run_points_parallel, FailoverConfig, PointConfig, System,
+};
 use rdma::wire::{crc32_slice8_raw, crc32_two_lane_raw};
 use rdma::{
     patch_frame, Aeth, AethKind, Bth, MacAddr, Opcode, PacketTemplate, Psn, Qpn, RKey, Reth,
@@ -688,4 +697,102 @@ fn main() {
     json9.push_str("}\n");
     std::fs::write("BENCH_9.json", &json9).expect("write BENCH_9.json");
     println!("{json9}");
+
+    // BENCH_10: failover attribution + sampler overhead. The quick E10
+    // sweep yields the per-phase budgets (each asserted to telescope
+    // exactly inside e10_failover::row); the overhead pairs run the
+    // canonical clean kill with and without the 100 µs timeline sampler,
+    // interleaved best-of-5, with decided totals, event counts and the
+    // sampled fingerprint asserted identical across repeats.
+    eprintln!("failover attribution (E10 quick) + sampler overhead...");
+    let fo_cfg = FailoverConfig {
+        observe_for: SimDuration::from_millis(80),
+        seed: seed.unwrap_or(FailoverConfig::default().seed),
+        ..FailoverConfig::default()
+    };
+    let mut sampled_ms = f64::INFINITY;
+    let mut unsampled_ms = f64::INFINITY;
+    let mut fingerprint: Option<String> = None;
+    let mut fo_identical = true;
+    let mut fo_samples = 0usize;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let a = run_failover(&fo_cfg);
+        sampled_ms = sampled_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let b = run_failover(&FailoverConfig {
+            sample: false,
+            ..fo_cfg
+        });
+        unsampled_ms = unsampled_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        fo_identical &= a.group_decided == b.group_decided
+            && a.events_processed == b.events_processed
+            && a.budget == b.budget;
+        match &fingerprint {
+            None => fingerprint = Some(a.fingerprint()),
+            Some(f) => fo_identical &= *f == a.fingerprint(),
+        }
+        fo_samples = a.timeline.total_samples();
+    }
+    let sampler_overhead_pct = 100.0 * (sampled_ms - unsampled_ms) / unsampled_ms;
+    eprintln!(
+        "  sampler: unsampled {unsampled_ms:.1} ms, sampled {sampled_ms:.1} ms \
+         ({sampler_overhead_pct:+.1}%, {fo_samples} samples)"
+    );
+    let e10 = e10_failover::run(true);
+    for r in &e10 {
+        eprintln!(
+            "  {:<24} unavail {:>6.2} ms = detect {:.2} + elect {:.2} + fence {:.2} + reaccel {:.2} + decide {:.2}",
+            r.scenario, r.unavailability_ms, r.detection_ms, r.election_ms, r.fence_ms,
+            r.reaccel_ms, r.first_decide_ms
+        );
+    }
+    let clean = e10
+        .iter()
+        .find(|r| r.scenario == "clean kill")
+        .expect("quick sweep has a clean scenario");
+    let mut json10 = String::new();
+    json10.push_str("{\n  \"bench\": \"failover_attribution\",\n");
+    json10.push_str("  \"rows\": [\n");
+    for (i, r) in e10.iter().enumerate() {
+        let _ = writeln!(
+            json10,
+            "    {{\"scenario\": \"{}\", \"seed\": {}, \"unavailability_ms\": {:.4}, \"detection_ms\": {:.4}, \"election_ms\": {:.4}, \"fence_ms\": {:.4}, \"reaccel_ms\": {:.4}, \"first_decide_ms\": {:.4}, \"dip_depth_pct\": {:.1}, \"recovery_ms\": {}}}{}",
+            r.scenario,
+            r.seed,
+            r.unavailability_ms,
+            r.detection_ms,
+            r.election_ms,
+            r.fence_ms,
+            r.reaccel_ms,
+            r.first_decide_ms,
+            r.dip_depth_pct,
+            r.recovery_ms
+                .map_or("null".to_owned(), |v| format!("{v:.2}")),
+            if i + 1 < e10.len() { "," } else { "" }
+        );
+    }
+    json10.push_str("  ],\n");
+    let _ = writeln!(
+        json10,
+        "  \"unavailability_ms\": {{\"p50\": {:.4}, \"p99\": {:.4}}},",
+        e10_failover::unavailability_percentile(&e10, 50.0),
+        e10_failover::unavailability_percentile(&e10, 99.0)
+    );
+    let _ = writeln!(
+        json10,
+        "  \"dip\": {{\"depth_pct\": {:.1}, \"recovery_ms\": {}}},",
+        clean.dip_depth_pct,
+        clean
+            .recovery_ms
+            .map_or("null".to_owned(), |v| format!("{v:.2}"))
+    );
+    let _ = writeln!(
+        json10,
+        "  \"sampler\": {{\"cadence_us\": 100, \"sampled_wall_ms\": {sampled_ms:.1}, \"unsampled_wall_ms\": {unsampled_ms:.1}, \"overhead_pct\": {sampler_overhead_pct:.1}, \"samples\": {fo_samples}}},"
+    );
+    json10.push_str("  \"budget_reconciles\": true,\n");
+    let _ = writeln!(json10, "  \"identical_outcomes\": {fo_identical}\n}}");
+    std::fs::write("BENCH_10.json", &json10).expect("write BENCH_10.json");
+    println!("{json10}");
 }

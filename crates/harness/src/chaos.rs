@@ -256,7 +256,12 @@ fn link_plan(spec: &ChaosSpec, member: usize, reverse: bool, storm_start: SimTim
     plan
 }
 
-fn install_storm(sim: &mut Simulation, members: &[NodeId], spec: &ChaosSpec, storm_start: SimTime) {
+pub(crate) fn install_storm(
+    sim: &mut Simulation,
+    members: &[NodeId],
+    spec: &ChaosSpec,
+    storm_start: SimTime,
+) {
     let primary = PortId::from_index(0);
     for (i, &m) in members.iter().enumerate() {
         sim.set_fault_plan(m, primary, link_plan(spec, i, false, storm_start));
@@ -265,7 +270,7 @@ fn install_storm(sim: &mut Simulation, members: &[NodeId], spec: &ChaosSpec, sto
     }
 }
 
-fn clear_storm(sim: &mut Simulation, members: &[NodeId]) {
+pub(crate) fn clear_storm(sim: &mut Simulation, members: &[NodeId]) {
     let primary = PortId::from_index(0);
     for &m in members {
         sim.clear_fault_plan(m, primary);

@@ -1,6 +1,7 @@
 //! The per-figure experiment drivers (see DESIGN.md §4 for the index).
 
 pub mod ablation_ackdrop;
+pub mod e10_failover;
 pub mod fig5_goodput;
 pub mod fig6_latency;
 pub mod fig7_burst;

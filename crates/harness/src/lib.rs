@@ -22,6 +22,7 @@
 pub mod chaos;
 pub mod experiments;
 pub mod explore;
+pub mod failover;
 pub mod report;
 pub mod repro;
 pub mod runner;
@@ -30,7 +31,11 @@ pub mod tracing;
 
 pub use chaos::{ChaosRecorder, ChaosReport, ChaosSpec};
 pub use explore::{Budget, ExploreReport, ExploreSpec, ExploreStatus};
-pub use report::{print_markdown, to_csv, to_markdown, write_csv, TableRow};
+pub use failover::{
+    run_failover, run_failover_sharded, FailoverBudget, FailoverConfig, FailoverOutcome,
+    FailoverPhase, ThroughputDip, FAILOVER_PHASES,
+};
+pub use report::{print_markdown, to_csv, to_markdown, truncation_warning, write_csv, TableRow};
 pub use repro::Repro;
 pub use runner::{
     run_point, run_point_metered, run_points, run_points_parallel, PointConfig, PointOutcome,

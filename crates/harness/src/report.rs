@@ -55,6 +55,20 @@ pub fn write_csv<R: TableRow>(path: impl AsRef<Path>, rows: &[R]) -> io::Result<
     std::fs::write(path, to_csv(rows))
 }
 
+/// The standard warning line for bounded-trace-ring truncation: `None`
+/// when nothing was dropped, so reports can append it unconditionally.
+/// A truncated ring silently biases anything assembled from the record
+/// stream (spans, timelines, annotations) toward the end of the run —
+/// that must never go unflagged.
+pub fn truncation_warning(dropped: u64) -> Option<String> {
+    (dropped > 0).then(|| {
+        format!(
+            "WARNING: bounded trace ring dropped {dropped} records (oldest first) — \
+             spans and timelines only cover the tail of the run"
+        )
+    })
+}
+
 /// Formats a float with sensible experiment precision.
 pub fn fmt_f64(v: f64) -> String {
     if v == 0.0 {
@@ -112,6 +126,14 @@ mod tests {
         }];
         let csv = to_csv(&rows);
         assert_eq!(csv, "name,value\nx,0.1250\n");
+    }
+
+    #[test]
+    fn truncation_warning_only_fires_on_drops() {
+        assert_eq!(truncation_warning(0), None);
+        let w = truncation_warning(17).expect("drops warn");
+        assert!(w.starts_with("WARNING:"));
+        assert!(w.contains("17 records"));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use netsim::{
 use std::io;
 use std::path::Path;
 
-use crate::report::{fmt_f64, to_markdown, TableRow};
+use crate::report::{fmt_f64, to_markdown, truncation_warning, TableRow};
 use crate::runner::{run_point_metered, PointConfig, PointOutcome};
 
 /// Everything one traced point produced.
@@ -42,9 +42,23 @@ impl TracedPoint {
         chrome_trace_json(&self.records)
     }
 
-    /// The markdown stage-breakdown table for this point.
+    /// Records lost to a bounded trace ring during this run (zero for
+    /// unbounded sinks).
+    pub fn dropped_records(&self) -> u64 {
+        self.metrics.counter("trace.dropped_records").unwrap_or(0)
+    }
+
+    /// The markdown stage-breakdown table for this point. When the
+    /// bounded trace ring dropped records, the table closes with an
+    /// explicit truncation warning — a clipped record stream silently
+    /// biases the breakdown toward the end of the run otherwise.
     pub fn stage_table(&self, title: &str) -> String {
-        stage_table(title, &self.breakdown)
+        let mut out = stage_table(title, &self.breakdown);
+        if let Some(warning) = truncation_warning(self.dropped_records()) {
+            out.push_str(&warning);
+            out.push('\n');
+        }
+        out
     }
 }
 

@@ -1,0 +1,154 @@
+//! Failover-attribution contract tests: the per-phase budget telescopes
+//! exactly, timelines are bit-deterministic per seed, and sampling never
+//! perturbs the simulation.
+
+use netsim::timeseries::chrome_trace_json_with;
+use netsim::trace::json;
+use netsim::SimDuration;
+use p4ce_harness::{run_failover, run_failover_sharded, ChaosSpec, FailoverConfig};
+
+fn quick() -> FailoverConfig {
+    FailoverConfig {
+        observe_for: SimDuration::from_millis(80),
+        ..FailoverConfig::default()
+    }
+}
+
+#[test]
+fn budget_phases_sum_exactly_to_unavailability() {
+    let out = run_failover(&quick());
+    let b = &out.budget;
+    assert!(b.reconciles(), "phases must telescope: {b:?}");
+    assert!(
+        b.first_decide > b.last_decide,
+        "finite, non-empty unavailability window"
+    );
+    // P4CE's dominant failover cost is the ~40 ms switch
+    // reconfiguration; detection is sub-millisecond.
+    let by_name = |name: &str| {
+        b.phases
+            .iter()
+            .find(|p| p.name == name)
+            .expect("phase present")
+            .duration()
+    };
+    assert!(
+        by_name("switch re-acceleration") >= SimDuration::from_millis(10),
+        "switch reconfiguration dominates: {b:?}"
+    );
+    assert_eq!(
+        by_name("log fence"),
+        SimDuration::ZERO,
+        "P4CE fences locally inside become_leader — zero-width by design"
+    );
+    assert!(
+        b.unavailability() < SimDuration::from_millis(80),
+        "window bounded by the observation horizon"
+    );
+}
+
+#[test]
+fn same_seed_is_bit_identical_and_dip_is_observed() {
+    let cfg = quick();
+    let a = run_failover(&cfg);
+    let b = run_failover(&cfg);
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "same seed => identical timeline samples, annotations and budget"
+    );
+    let dip = a.dip.expect("sampling was on");
+    assert!(dip.steady_ops_per_sec > 0.0);
+    assert!(
+        dip.dip_depth_pct > 50.0,
+        "a dead leader must dent throughput: {dip:?}"
+    );
+    assert!(
+        dip.recovery.is_some(),
+        "throughput recovers within the window: {dip:?}"
+    );
+    // The kill marker and the successor's view change both made it into
+    // the annotation stream, in clock order.
+    let ann = a.timeline.annotations();
+    assert!(ann.windows(2).all(|w| w[0].t <= w[1].t), "sorted");
+    assert!(ann.iter().any(|x| x.label == "leader-kill m0"));
+    assert!(ann.iter().any(|x| x.label.starts_with("view-change")));
+}
+
+#[test]
+fn sampling_never_perturbs_the_simulation() {
+    let sampled = run_failover(&quick());
+    let unsampled = run_failover(&FailoverConfig {
+        sample: false,
+        ..quick()
+    });
+    assert_eq!(
+        sampled.group_decided, unsampled.group_decided,
+        "sampling observes; it must not change what was decided"
+    );
+    assert_eq!(
+        sampled.events_processed, unsampled.events_processed,
+        "identical event counts with and without the sampler"
+    );
+    assert_eq!(sampled.budget, unsampled.budget, "identical attribution");
+    assert!(unsampled.dip.is_none(), "no timeline, no dip");
+    assert_eq!(unsampled.timeline.total_samples(), 0);
+}
+
+#[test]
+fn perfetto_export_with_counter_tracks_parses() {
+    let out = run_failover(&quick());
+    let trace = chrome_trace_json_with(&out.records, &out.timeline);
+    let parsed = json::parse(&trace).expect("valid trace json");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(json::Value::as_arr)
+        .expect("event array");
+    let counters = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("C"))
+        .count();
+    assert!(counters > 100, "counter-track samples present: {counters}");
+    assert!(events
+        .iter()
+        .any(|e| { e.get("name").and_then(json::Value::as_str) == Some("leader-kill m0") }));
+}
+
+#[test]
+fn sharded_kill_leaves_co_resident_group_deciding() {
+    let cfg = FailoverConfig {
+        observe_for: SimDuration::from_millis(80),
+        ..FailoverConfig::default()
+    };
+    let out = run_failover_sharded(&cfg, 2);
+    assert!(out.budget.reconciles(), "{:?}", out.budget);
+    assert!(out.group_decided[1] > 0, "group 1 decided throughout");
+    // Group 1's decided series keeps climbing across the kill instant.
+    let g1 = out.timeline.series("g1.decided.total").expect("sampled");
+    let at_kill = g1
+        .points()
+        .filter(|(t, _)| *t <= out.budget.t_kill)
+        .map(|(_, v)| v)
+        .fold(0.0f64, f64::max);
+    let at_end = g1.last().expect("non-empty").1;
+    assert!(
+        at_end > at_kill,
+        "co-resident group unaffected: {at_kill} -> {at_end}"
+    );
+}
+
+#[test]
+fn budget_survives_a_fault_storm_around_the_kill() {
+    let cfg = FailoverConfig {
+        observe_for: SimDuration::from_millis(100),
+        chaos: Some(ChaosSpec::seeded(7, 3)),
+        ..FailoverConfig::default()
+    };
+    let a = run_failover(&cfg);
+    assert!(a.budget.reconciles(), "{:?}", a.budget);
+    let b = run_failover(&cfg);
+    assert_eq!(a.fingerprint(), b.fingerprint(), "storms are seeded too");
+    let ann = a.timeline.annotations();
+    assert!(ann.iter().any(|x| x.label == "fault-storm start"));
+    assert!(ann.iter().any(|x| x.label == "fault-storm end"));
+}

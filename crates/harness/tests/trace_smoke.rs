@@ -91,6 +91,14 @@ fn bounded_ring_reports_drops_and_still_exports() {
         .counter("trace.dropped_records")
         .expect("counter present even when unbounded");
     assert_eq!(unbounded_drops, 0);
+    // Truncation must be flagged in the human-facing table, and only
+    // there — the clean run's table stays warning-free.
+    assert_eq!(bounded.dropped_records(), dropped);
+    assert!(
+        bounded.stage_table("bounded").contains("WARNING:"),
+        "stage table must surface ring truncation"
+    );
+    assert!(!full.stage_table("full").contains("WARNING:"));
 }
 
 #[test]

@@ -56,6 +56,7 @@ mod sched;
 mod sim;
 mod stats;
 mod time;
+pub mod timeseries;
 pub mod trace;
 pub mod wheel;
 
@@ -69,6 +70,9 @@ pub use sched::{EventClass, EventInfo, FifoScheduler, ReplayScheduler, Scheduler
 pub use sim::{Simulation, TapId};
 pub use stats::{HistogramStats, LatencyRecorder, LatencyStats, Throughput};
 pub use time::{SimDuration, SimTime};
+pub use timeseries::{
+    annotations_from_records, chrome_trace_json_with, Annotation, SampleSeries, SampledRegistry,
+};
 pub use trace::{
     assemble_spans, breakdown, chrome_trace_json, InstanceSpan, RetransmitKind, StageBreakdown,
     StageLatency, TraceBuffer, TraceEvent, TraceHandle, TraceRecord, TraceSink, Tracer,

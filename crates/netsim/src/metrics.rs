@@ -109,29 +109,114 @@ impl MetricsRegistry {
         names
     }
 
-    /// Renders everything as sorted `name value` lines; histograms show
-    /// `count/mean/p50/p99/max` in nanoseconds.
+    /// Renders everything as `name value` lines in globally sorted name
+    /// order — counters, gauges and histograms interleaved by name, not
+    /// blocked by type, so a diff of two renders lines up entry for
+    /// entry. Histograms show `count/mean/p50/p99/max` in nanoseconds.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (name, v) in &self.counters {
-            let _ = writeln!(out, "{name} {v}");
-        }
-        for (name, v) in &self.gauges {
-            let _ = writeln!(out, "{name} {v}");
-        }
-        for (name, h) in &self.histograms {
-            let _ = writeln!(
-                out,
-                "{name} count={} mean_ns={} p50_ns={} p99_ns={} max_ns={}",
-                h.len(),
-                h.mean().as_nanos(),
-                h.percentile(50.0).as_nanos(),
-                h.percentile(99.0).as_nanos(),
-                h.max().as_nanos(),
-            );
+        for name in self.names() {
+            if let Some(v) = self.counters.get(&name) {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            if let Some(v) = self.gauges.get(&name) {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            if let Some(h) = self.histograms.get(&name) {
+                let _ = writeln!(
+                    out,
+                    "{name} count={} mean_ns={} p50_ns={} p99_ns={} max_ns={}",
+                    h.len(),
+                    h.mean().as_nanos(),
+                    h.percentile(50.0).as_nanos(),
+                    h.percentile(99.0).as_nanos(),
+                    h.max().as_nanos(),
+                );
+            }
         }
         out
     }
+
+    /// Renders the counter deltas between two snapshots as sorted
+    /// `name +delta` / `name -delta` lines, skipping unchanged counters.
+    /// A counter present in only one snapshot is treated as zero in the
+    /// other, so appearing and disappearing metrics still show up.
+    pub fn render_diff(before: &MetricsRegistry, after: &MetricsRegistry) -> String {
+        let mut names: Vec<&str> = before
+            .counters
+            .keys()
+            .chain(after.counters.keys())
+            .map(String::as_str)
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let mut out = String::new();
+        for name in names {
+            let b = before.counter(name).unwrap_or(0);
+            let a = after.counter(name).unwrap_or(0);
+            if a >= b {
+                if a > b {
+                    let _ = writeln!(out, "{name} +{}", a - b);
+                }
+            } else {
+                let _ = writeln!(out, "{name} -{}", b - a);
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format:
+    /// counters and gauges as single samples, histograms as summaries
+    /// (`_count`/`_sum` plus `quantile`-labeled p50/p99 samples, in
+    /// nanoseconds). Dots and other non-identifier characters in metric
+    /// names become underscores per the Prometheus naming rules.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let name = format!("{}_ns", prometheus_name(name));
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(
+                out,
+                "{name}{{quantile=\"0.5\"}} {}",
+                h.percentile(50.0).as_nanos()
+            );
+            let _ = writeln!(
+                out,
+                "{name}{{quantile=\"0.99\"}} {}",
+                h.percentile(99.0).as_nanos()
+            );
+            let _ = writeln!(out, "{name}_sum {}", h.sum_ns());
+            let _ = writeln!(out, "{name}_count {}", h.len());
+        }
+        out
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus identifier charset
+/// (`[a-zA-Z0-9_:]`, not digit-leading).
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 /// The group dimension of a metric name: `base` scoped to consensus
@@ -182,5 +267,59 @@ mod tests {
         let rendered = reg.render();
         assert!(rendered.contains("rdma.tx.packets 15"));
         assert!(rendered.contains("consensus.latency count=1"));
+    }
+
+    #[test]
+    fn render_interleaves_types_in_global_name_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("b.counter", 1);
+        reg.set_gauge("a.gauge", 2.0);
+        reg.histogram_mut("c.hist")
+            .record(SimDuration::from_nanos(5));
+        let rendered = reg.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        let names: Vec<&str> = lines
+            .iter()
+            .map(|l| l.split_whitespace().next().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            ["a.gauge", "b.counter", "c.hist"],
+            "sorted across types, not per-type blocks"
+        );
+    }
+
+    #[test]
+    fn render_diff_reports_signed_counter_deltas_only() {
+        let mut before = MetricsRegistry::new();
+        before.set_counter("decided", 10);
+        before.set_counter("unchanged", 4);
+        before.set_counter("vanished", 2);
+        before.set_gauge("ignored.gauge", 1.0);
+        let mut after = MetricsRegistry::new();
+        after.set_counter("decided", 25);
+        after.set_counter("unchanged", 4);
+        after.set_counter("appeared", 7);
+        let diff = MetricsRegistry::render_diff(&before, &after);
+        assert_eq!(diff, "appeared +7\ndecided +15\nvanished -2\n");
+    }
+
+    #[test]
+    fn prometheus_exposition_sanitizes_names_and_summarizes_histograms() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("g0.member.0.decided", 12);
+        reg.set_gauge("switch.credit", 3.5);
+        let h = reg.histogram_mut("member.0.latency");
+        h.record(SimDuration::from_micros(2));
+        h.record(SimDuration::from_micros(4));
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE g0_member_0_decided counter"));
+        assert!(text.contains("g0_member_0_decided 12"));
+        assert!(text.contains("switch_credit 3.5"));
+        assert!(text.contains("# TYPE member_0_latency_ns summary"));
+        assert!(text.contains("member_0_latency_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("member_0_latency_ns_sum 6000"));
+        assert!(text.contains("member_0_latency_ns_count 2"));
+        assert_eq!(prometheus_name("0abc"), "_0abc", "no digit-leading names");
     }
 }

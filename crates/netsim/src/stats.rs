@@ -197,6 +197,12 @@ impl HistogramStats {
         self.count as usize
     }
 
+    /// Sum of all recorded samples in nanoseconds (exact) — the `_sum`
+    /// of a Prometheus summary exposition.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
     /// `true` if no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -613,6 +619,82 @@ mod tests {
                 assert_eq!(hist_value(idx), v, "linear bucket exact for {v}");
             }
         }
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_accounting_is_exact() {
+        // The largest representable sample lands in the topmost bucket;
+        // count/sum/max stay exact even though the bucket is enormous.
+        let mut h = HistogramStats::new();
+        h.record(SimDuration::from_nanos(u64::MAX));
+        h.record(SimDuration::from_nanos(1));
+        assert_eq!(hist_index(u64::MAX), HIST_BUCKETS - 1, "top bucket");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.sum_ns(), u64::MAX as u128 + 1);
+        assert_eq!(h.max().as_nanos(), u64::MAX, "max is exact, not midpoint");
+        let p100 = h.percentile(100.0).as_nanos();
+        assert!(
+            p100 >= u64::MAX - (u64::MAX >> 4),
+            "top quantile stays within one sub-bucket of the exact max (got {p100})"
+        );
+        assert_eq!(h.min().as_nanos(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_at_bucket_boundaries() {
+        // Two populated buckets, ten samples each: ranks 1..=10 must
+        // resolve to the low bucket, 11..=20 to the high one, with the
+        // rank exactly on the boundary (p50 -> rank 10) staying low.
+        let mut h = HistogramStats::new();
+        for _ in 0..10 {
+            h.record(SimDuration::from_nanos(100));
+        }
+        for _ in 0..10 {
+            h.record(SimDuration::from_nanos(200));
+        }
+        let low = hist_value(hist_index(100)).clamp(100, 200);
+        let high = hist_value(hist_index(200)).clamp(100, 200);
+        assert!(low < high, "distinct buckets");
+        assert_eq!(
+            h.percentile(50.0).as_nanos(),
+            low,
+            "boundary rank stays low"
+        );
+        assert_eq!(h.percentile(55.0).as_nanos(), high, "next rank crosses");
+        assert_eq!(h.percentile(0.0).as_nanos(), low, "rank clamps to 1");
+        // Representatives never escape the observed range.
+        assert!(h.percentile(50.0).as_nanos() >= h.min().as_nanos());
+        assert!(h.percentile(99.0).as_nanos() <= h.max().as_nanos());
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity_both_ways() {
+        let mut full = HistogramStats::new();
+        full.record(SimDuration::from_micros(3));
+        full.record(SimDuration::from_micros(7));
+        let snapshot = (full.len(), full.sum_ns(), full.min(), full.max());
+
+        // Merging an empty histogram in must not poison min/max with the
+        // empty sentinel values (min=u64::MAX, max=0).
+        full.merge(&HistogramStats::new());
+        assert_eq!(
+            (full.len(), full.sum_ns(), full.min(), full.max()),
+            snapshot
+        );
+
+        // Merging into an empty histogram adopts the other's extrema.
+        let mut empty = HistogramStats::new();
+        empty.merge(&full);
+        assert_eq!(
+            (empty.len(), empty.sum_ns(), empty.min(), empty.max()),
+            snapshot
+        );
+
+        // Empty into empty stays empty.
+        let mut e1 = HistogramStats::new();
+        e1.merge(&HistogramStats::new());
+        assert!(e1.is_empty());
+        assert_eq!(e1.max(), SimDuration::ZERO);
     }
 
     #[test]

@@ -1162,7 +1162,7 @@ pub fn breakdown(spans: &[InstanceSpan]) -> StageBreakdown {
 // Chrome/Perfetto trace_events export
 // ----------------------------------------------------------------------
 
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -1180,7 +1180,7 @@ fn escape_json(s: &str, out: &mut String) {
 
 /// Timestamps in `trace_events` are microseconds; emit them with
 /// nanosecond precision as fractional microseconds.
-fn push_ts(out: &mut String, t: SimTime) {
+pub(crate) fn push_ts(out: &mut String, t: SimTime) {
     let ns = t.as_nanos();
     let _ = std::fmt::Write::write_fmt(out, format_args!("{}.{:03}", ns / 1000, ns % 1000));
 }
@@ -1195,14 +1195,24 @@ fn push_ts(out: &mut String, t: SimTime) {
 ///
 /// [ui.perfetto.dev]: https://ui.perfetto.dev
 pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    chrome_trace_body(records, &mut out, &mut first);
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes the `trace_events` array elements for `records` (metadata,
+/// instant events, stage slices) into an already-open array, tracking
+/// comma placement through `first`. Shared by [`chrome_trace_json`] and
+/// the timeseries export, which appends counter tracks before closing.
+pub(crate) fn chrome_trace_body(records: &[TraceRecord], mut out: &mut String, first: &mut bool) {
     let mut nodes: Vec<&str> = records.iter().map(|r| &*r.node).collect();
     nodes.sort_unstable();
     nodes.dedup();
     let tid_of = |node: &str| -> usize { nodes.binary_search(&node).expect("node indexed") + 1 };
 
-    let mut out = String::with_capacity(records.len() * 96 + 1024);
-    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
-    let mut first = true;
     let sep = |out: &mut String, first: &mut bool| {
         if *first {
             *first = false;
@@ -1214,7 +1224,7 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
 
     // Process/thread naming metadata.
     for (pid, pname) in [(1, "nodes"), (2, "consensus stages")] {
-        sep(&mut out, &mut first);
+        sep(out, first);
         let _ = std::fmt::Write::write_fmt(
             &mut out,
             format_args!(
@@ -1224,7 +1234,7 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
         );
     }
     for node in &nodes {
-        sep(&mut out, &mut first);
+        sep(out, first);
         let mut name = String::new();
         escape_json(node, &mut name);
         let _ = std::fmt::Write::write_fmt(
@@ -1237,7 +1247,7 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
         );
     }
     for (i, stage) in STAGE_NAMES.iter().enumerate() {
-        sep(&mut out, &mut first);
+        sep(out, first);
         let _ = std::fmt::Write::write_fmt(
             &mut out,
             format_args!(
@@ -1250,7 +1260,7 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
 
     // Raw records as instant events.
     for rec in records {
-        sep(&mut out, &mut first);
+        sep(out, first);
         let _ = std::fmt::Write::write_fmt(
             &mut out,
             format_args!(
@@ -1259,7 +1269,7 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                 rec.event.kind()
             ),
         );
-        push_ts(&mut out, rec.t);
+        push_ts(out, rec.t);
         out.push_str(",\"args\":{");
         for (i, (k, v)) in rec.event.fields().into_iter().enumerate() {
             if i > 0 {
@@ -1277,7 +1287,7 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
         };
         let mut start = span.propose;
         for (i, d) in durs.into_iter().enumerate() {
-            sep(&mut out, &mut first);
+            sep(out, first);
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
                 format_args!(
@@ -1287,7 +1297,7 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                     span.seq
                 ),
             );
-            push_ts(&mut out, start);
+            push_ts(out, start);
             out.push_str(",\"dur\":");
             let ns = d.as_nanos();
             let _ = std::fmt::Write::write_fmt(
@@ -1304,9 +1314,6 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
             start += d;
         }
     }
-
-    out.push_str("\n]}\n");
-    out
 }
 
 // ----------------------------------------------------------------------

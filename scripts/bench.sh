@@ -8,9 +8,12 @@
 # scorecard (rates + overhead vs the pre-overhaul baselines) written to
 # BENCH_6.json, the hot-path kernel scorecard (per-stage ns + event
 # rate vs the pre-kernel-overhaul baseline) written to BENCH_8.json,
-# and the sharded groups-sweep scorecard written to BENCH_9.json.
+# the sharded groups-sweep scorecard written to BENCH_9.json, and the
+# failover-attribution scorecard (per-phase leader-kill budgets,
+# unavailability p50/p99, timeline-sampler overhead) written to
+# BENCH_10.json.
 #
-#   ./scripts/bench.sh                      # criterion smoke + BENCH_3/5/6/8/9.json
+#   ./scripts/bench.sh                      # criterion smoke + BENCH_3/5/6/8/9/10.json
 #   ./scripts/bench.sh --seed 7 --iters 50000
 #
 # --seed N   overrides the simulation seed of the timed points
@@ -45,7 +48,7 @@ cargo bench -p p4ce-bench --bench sim_consensus
 echo "==> criterion: switch_registers (scatter/gather primitives)"
 cargo bench -p p4ce-bench --bench switch_registers
 
-echo "==> timed sweeps -> BENCH_3.json, trace overhead -> BENCH_5.json, scorecards -> BENCH_6.json, BENCH_8.json, BENCH_9.json"
+echo "==> timed sweeps -> BENCH_3.json, trace overhead -> BENCH_5.json, scorecards -> BENCH_6.json, BENCH_8.json, BENCH_9.json, BENCH_10.json"
 cargo run --release -p p4ce-bench --bin bench_trajectory -- "${TRAJECTORY_ARGS[@]+"${TRAJECTORY_ARGS[@]}"}"
 
-echo "bench: BENCH_3.json, BENCH_5.json, BENCH_6.json, BENCH_8.json and BENCH_9.json written"
+echo "bench: BENCH_3.json, BENCH_5.json, BENCH_6.json, BENCH_8.json, BENCH_9.json and BENCH_10.json written"
